@@ -1,0 +1,70 @@
+"""Ablation — cross-evaluation transition-matrix caching.
+
+Not a paper experiment: CodeML v4.4c recomputes ``P(t)`` every
+evaluation, and the engines default to the same behaviour so the
+Table III/IV comparisons stay in the paper's cost regime.  This bench
+quantifies what the (deliberately disabled) cache would buy during
+finite-difference gradients, where most branch lengths are unchanged
+between consecutive evaluations.
+"""
+
+import time
+
+import pytest
+
+from harness import format_table, get_dataset, write_result
+
+from repro.core.engine import SlimEngine
+from repro.models.branch_site import BranchSiteModelA
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["cache-off", "cache-on"])
+def test_gradient_like_evaluation_pattern(benchmark, cached):
+    """Perturb one branch length at a time, as a numeric gradient does."""
+    dataset = get_dataset("iii")
+    engine = SlimEngine(cache_transition_matrices=cached)
+    bound = engine.bind(dataset.tree, dataset.alignment, BranchSiteModelA())
+    values = dataset.true_values
+    base = bound.branch_lengths.copy()
+
+    def gradient_sweep():
+        bound.log_likelihood(values, base)
+        for k in range(min(10, base.shape[0])):
+            probe = base.copy()
+            probe[k] += 1e-6
+            bound.log_likelihood(values, probe)
+
+    bound.log_likelihood(values)  # warm decompositions
+    benchmark.pedantic(gradient_sweep, rounds=3, iterations=1)
+    benchmark.extra_info["cache_transition_matrices"] = cached
+
+
+def test_caching_summary(benchmark):
+    dataset = get_dataset("iii")
+    values = dataset.true_values
+
+    def measure():
+        timings = {}
+        for cached in (False, True):
+            engine = SlimEngine(cache_transition_matrices=cached)
+            bound = engine.bind(dataset.tree, dataset.alignment, BranchSiteModelA())
+            base = bound.branch_lengths.copy()
+            bound.log_likelihood(values)
+            t0 = time.perf_counter()
+            for k in range(10):
+                probe = base.copy()
+                probe[k % base.shape[0]] += 1e-6
+                bound.log_likelihood(values, probe)
+            timings[cached] = time.perf_counter() - t0
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        ["configuration", "10 gradient probes (s)", "gain"],
+        [
+            ["cache off (CodeML-faithful, default)", f"{timings[False]:.3f}", "1.00"],
+            ["cache on (extension)", f"{timings[True]:.3f}", f"{timings[False] / timings[True]:.2f}"],
+        ],
+        title="Ablation: cross-evaluation P(t) caching during gradient probes (dataset iii)",
+    )
+    write_result("ABL_transition_cache.txt", text)

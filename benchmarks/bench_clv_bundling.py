@@ -1,0 +1,113 @@
+"""E-K2 — §III-B bundling claim: per-site matvec loop vs one BLAS-3 call.
+
+CodeML applies ``P`` to each site's CLV separately; the paper notes that
+bundling all sites into a single matrix-matrix product "would further
+improve runtime performance" via BLAS level 3.  This bench measures the
+four propagation strategies over pattern counts spanning the Table II
+range (67 … 5004 codons).
+"""
+
+import numpy as np
+import pytest
+from scipy.linalg.blas import dgemm, dgemv, dsymm
+
+from harness import format_table, write_result
+
+N = 61
+PATTERN_COUNTS = [39, 67, 299, 1062, 5004]
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(23)
+    p_matrix = rng.random((N, N))
+    p_matrix /= p_matrix.sum(axis=1, keepdims=True)
+    m_sym = 0.5 * (p_matrix + p_matrix.T)
+    clvs = {k: np.asfortranarray(rng.random((N, k))) for k in PATTERN_COUNTS}
+    return p_matrix, m_sym, clvs
+
+
+def _per_site_einsum(p, clv):
+    out = np.empty_like(clv, order="F")
+    for s in range(clv.shape[1]):
+        np.einsum("ij,j->i", p, clv[:, s], out=out[:, s], optimize=False)
+    return out
+
+
+def _per_site_dgemv(p, clv):
+    a_t = np.asfortranarray(p.T)
+    out = np.empty_like(clv, order="F")
+    for s in range(clv.shape[1]):
+        out[:, s] = dgemv(1.0, a_t, clv[:, s], trans=1)
+    return out
+
+
+def _bundled_dgemm(p, clv):
+    return dgemm(1.0, np.asfortranarray(p), clv)
+
+
+def _bundled_dsymm(m, clv):
+    return dsymm(1.0, np.asfortranarray(m), clv, side=0, lower=0)
+
+
+STRATEGIES = {
+    "per-site einsum (CodeML)": ("p", _per_site_einsum),
+    "per-site dgemv (SlimCodeML)": ("p", _per_site_dgemv),
+    "bundled dgemm (BLAS-3)": ("p", _bundled_dgemm),
+    "bundled dsymm (Eq.12 + BLAS-3)": ("m", _bundled_dsymm),
+}
+
+
+@pytest.mark.parametrize("n_patterns", PATTERN_COUNTS)
+@pytest.mark.parametrize("strategy", list(STRATEGIES), ids=lambda s: s.split(" (")[0])
+def test_clv_propagation(benchmark, operands, strategy, n_patterns):
+    p_matrix, m_sym, clvs = operands
+    which, fn = STRATEGIES[strategy]
+    operand = p_matrix if which == "p" else m_sym
+    clv = clvs[n_patterns]
+    out = benchmark(fn, operand, clv)
+    assert out.shape == (N, n_patterns)
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["n_patterns"] = n_patterns
+
+
+def test_bundling_speedup_summary(benchmark, operands):
+    """One explicit timing table for the result archive."""
+    import time
+
+    p_matrix, m_sym, clvs = operands
+
+    def build():
+        return _collect_rows(p_matrix, m_sym, clvs)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = format_table(
+        ["patterns"] + [s.split(" (")[0] for s in STRATEGIES] + ["total gain"],
+        rows,
+        title="E-K2: CLV propagation strategies, µs per branch application (n = 61)",
+    )
+    write_result("E-K2_clv_bundling.txt", text)
+
+
+def _collect_rows(p_matrix, m_sym, clvs):
+    import time
+
+    rows = []
+    for k in PATTERN_COUNTS:
+        clv = clvs[k]
+        timings = {}
+        for label, (which, fn) in STRATEGIES.items():
+            operand = p_matrix if which == "p" else m_sym
+            fn(operand, clv)  # warm
+            reps = max(3, int(2000 / k))
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn(operand, clv)
+            timings[label] = (time.perf_counter() - t0) / reps * 1e6
+        base = timings["per-site einsum (CodeML)"]
+        rows.append(
+            [k]
+            + [f"{timings[s]:.0f}" for s in STRATEGIES]
+            + [f"{base / timings['bundled dsymm (Eq.12 + BLAS-3)']:.1f}x"]
+        )
+    return rows

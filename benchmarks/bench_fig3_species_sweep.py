@@ -1,0 +1,116 @@
+"""E-F3 — Figure 3: speedup versus number of species (dataset-iv family).
+
+The paper sweeps dataset iv from 15 to 95 species at fixed sequence
+length (39 codons) and plots SlimCodeML's speedup.  We generate the same
+family of shapes and measure the per-evaluation speedup at every paper
+x-coordinate (15, 25, …, 95).  Under a fixed iteration budget the
+overall and per-iteration speedups coincide with the per-evaluation one
+(every engine performs identical optimizer work per iteration), so the
+dense sweep can use direct evaluation timing; the paper's jagged
+overall curves stem from iteration-count noise, which E-T4/conv
+quantifies separately.  An ASCII rendering of the figure is written to
+benchmarks/results/.
+"""
+
+import time
+
+import pytest
+
+from harness import ENGINES, format_table, get_sweep_dataset, write_result
+
+from repro.core.engine import make_engine
+from repro.models.branch_site import BranchSiteModelA
+
+SPECIES = [15, 25, 35, 45, 55, 65, 75, 85, 95]
+EVAL_REPS = 5
+
+
+def _mean_eval_time(engine_name: str, dataset) -> float:
+    engine = make_engine(engine_name)
+    bound = engine.bind(dataset.tree, dataset.alignment, BranchSiteModelA())
+    values = dataset.true_values
+    bound.log_likelihood(values)  # warm caches
+    t0 = time.perf_counter()
+    for _ in range(EVAL_REPS):
+        bound.log_likelihood(values)
+    return (time.perf_counter() - t0) / EVAL_REPS
+
+
+@pytest.mark.parametrize("n_species", SPECIES)
+def test_sweep_point(benchmark, results_store, n_species):
+    dataset = get_sweep_dataset(n_species)
+    assert dataset.tree.n_branches == 2 * n_species - 3
+
+    def measure():
+        return {engine: _mean_eval_time(engine, dataset) for engine in ENGINES}
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup_slim = times["codeml"] / times["slim"]
+    speedup_v2 = times["codeml"] / times["slim-v2"]
+    assert speedup_slim > 1.0
+    assert speedup_v2 > speedup_slim  # bundling must add on top
+    results_store.fig3[n_species] = {
+        "times": times,
+        "slim": speedup_slim,
+        "slim-v2": speedup_v2,
+    }
+    benchmark.extra_info.update(
+        {"n_species": n_species, "S_slim": round(speedup_slim, 2), "S_v2": round(speedup_v2, 2)}
+    )
+
+
+def _ascii_plot(points, width=60, height=12, s_max=None):
+    xs = sorted(points)
+    series = {"slim": "o", "slim-v2": "*"}
+    s_max = s_max or max(max(points[x][k] for x in xs) for k in series) * 1.1
+    grid = [[" "] * width for _ in range(height)]
+    for label, marker in series.items():
+        for x in xs:
+            col = int((x - xs[0]) / (xs[-1] - xs[0]) * (width - 1))
+            row = height - 1 - int(points[x][label] / s_max * (height - 1))
+            grid[max(0, min(height - 1, row))][col] = marker
+    lines = [f"{s_max * (height - 1 - r) / (height - 1):5.1f} |" + "".join(row) for r, row in enumerate(grid)]
+    lines.append("      +" + "-" * width)
+    lines.append(f"       species {xs[0]} .. {xs[-1]}   (o = slim, * = slim-v2)")
+    return "\n".join(lines)
+
+
+def test_fig3_summary(benchmark, results_store):
+    if len(results_store.fig3) < len(SPECIES):
+        pytest.skip("requires every sweep point from this session")
+
+    def build():
+        rows = []
+        for n in SPECIES:
+            rec = results_store.fig3[n]
+            rows.append(
+                [
+                    n,
+                    2 * n - 3,
+                    f"{rec['times']['codeml'] * 1e3:.1f}",
+                    f"{rec['times']['slim'] * 1e3:.1f}",
+                    f"{rec['times']['slim-v2'] * 1e3:.1f}",
+                    f"{rec['slim']:.2f}",
+                    f"{rec['slim-v2']:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "species",
+            "branches",
+            "codeml eval (ms)",
+            "slim eval (ms)",
+            "slim-v2 eval (ms)",
+            "S slim",
+            "S slim-v2",
+        ],
+        rows,
+        title="E-F3: Figure 3 analog — speedup vs species, dataset-iv family (39 codons)",
+    )
+    plot = _ascii_plot(
+        {n: {k: results_store.fig3[n][k] for k in ("slim", "slim-v2")} for n in SPECIES}
+    )
+    write_result("E-F3_species_sweep.txt", table + "\n\n" + plot)

@@ -1,0 +1,17 @@
+"""Benchmark-session fixtures.
+
+The ``results_store`` fixture is session-scoped so the Table IV bench
+can consume the Table III runs (files are collected alphabetically:
+``bench_table3_*`` executes before ``bench_table4_*``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import ResultsStore
+
+
+@pytest.fixture(scope="session")
+def results_store() -> ResultsStore:
+    return ResultsStore()

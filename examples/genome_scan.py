@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Genome-scale batch scan across many genes — toward "FastCodeML".
+
+The Selectome database runs the branch-site test across whole genomes
+(paper §I-A); the computation is embarrassingly parallel across genes.
+This example simulates a small "genome" of genes — some evolving
+neutrally, some with positive selection on the test branch — and fans
+the analyses out over a process pool, then summarises detections.
+
+Run:  python examples/genome_scan.py [n_genes] [n_processes]
+"""
+
+import sys
+import time
+
+from repro import BranchSiteModelA, simulate_alignment, simulate_yule_tree
+from repro.parallel.batch import GeneJob, analyze_genes
+from repro.trees.simulate import random_foreground
+
+N_GENES = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+PROCESSES = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+NEUTRAL = {"kappa": 2.0, "omega0": 0.2, "p0": 0.6, "p1": 0.3}  # H0 truth
+SELECTED = {"kappa": 2.0, "omega0": 0.05, "omega2": 8.0, "p0": 0.5, "p1": 0.2}
+
+print(f"simulating {N_GENES} genes (every odd gene truly under selection)...")
+jobs, truly_selected = [], set()
+for g in range(N_GENES):
+    tree = simulate_yule_tree(6, seed=100 + g, mean_branch_length=0.15)
+    random_foreground(tree, seed=200 + g, internal_only=True)
+    if g % 2 == 1:
+        sim = simulate_alignment(tree, BranchSiteModelA(), SELECTED, 150, seed=300 + g)
+        truly_selected.add(f"gene{g:03d}")
+    else:
+        sim = simulate_alignment(
+            tree, BranchSiteModelA(fix_omega2=True), NEUTRAL, 150, seed=300 + g
+        )
+    jobs.append(GeneJob.from_objects(f"gene{g:03d}", tree, sim.alignment))
+
+print(f"running branch-site tests on {PROCESSES} processes...")
+start = time.perf_counter()
+results = analyze_genes(jobs, engine="slim", processes=PROCESSES, seed=1, max_iterations=20)
+elapsed = time.perf_counter() - start
+
+print(f"\n{'gene':<10s} {'lnL0':>12s} {'lnL1':>12s} {'2*delta':>9s} {'p':>10s}  {'truth':<9s} call")
+tp = fp = 0
+for res in results:
+    if res.failed:
+        print(f"{res.gene_id:<10s} FAILED: {res.error}")
+        continue
+    truth = "selected" if res.gene_id in truly_selected else "neutral"
+    call = "DETECTED" if res.pvalue < 0.05 else "-"
+    if call == "DETECTED":
+        tp += truth == "selected"
+        fp += truth == "neutral"
+    print(f"{res.gene_id:<10s} {res.lnl0:>12.2f} {res.lnl1:>12.2f} "
+          f"{res.statistic:>9.3f} {res.pvalue:>10.3g}  {truth:<9s} {call}")
+
+n_sel = len(truly_selected)
+print(f"\n{elapsed:.1f} s wall clock on {PROCESSES} processes "
+      f"({sum(r.runtime_seconds for r in results):.1f} s of total compute)")
+print(f"detected {tp}/{n_sel} truly selected genes; {fp} false positives "
+      f"among {N_GENES - n_sel} neutral genes (alpha = 0.05, uncorrected)")

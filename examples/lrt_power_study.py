@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Power study: how often does the branch-site LRT detect true selection?
+
+The paper cites Anisimova, Bielawski & Yang (2001) on the accuracy and
+power of the LRT (§I-A).  This example estimates, by simulation, the
+test's power as a function of the selection strength ω2 and its false
+positive rate under the null — the statistical properties that justify
+the whole CodeML/SlimCodeML workflow.
+
+Run:  python examples/lrt_power_study.py [replicates_per_cell]
+(default 4 replicates to stay quick; raise for smoother estimates)
+"""
+
+import sys
+
+from repro import (
+    BranchSiteModelA,
+    fit_branch_site_test,
+    make_engine,
+    parse_newick,
+    simulate_alignment,
+)
+
+REPLICATES = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+TREE = "((A:0.2,B:0.2):0.3 #1,(C:0.2,D:0.2):0.1,E:0.3);"
+N_CODONS = 200
+OMEGA2_GRID = [1.0, 2.0, 4.0, 8.0]  # 1.0 = the null (false positive rate)
+
+engine = make_engine("slim")
+print(f"{REPLICATES} replicates x {len(OMEGA2_GRID)} omega2 values, "
+      f"{N_CODONS} codons, 5 species\n")
+print(f"{'omega2':>7s} {'rejections':>11s} {'rate':>6s}  interpretation")
+
+for omega2 in OMEGA2_GRID:
+    rejections = 0
+    for rep in range(REPLICATES):
+        tree = parse_newick(TREE)
+        if omega2 == 1.0:
+            model = BranchSiteModelA(fix_omega2=True)
+            truth = {"kappa": 2.0, "omega0": 0.1, "p0": 0.55, "p1": 0.25}
+        else:
+            model = BranchSiteModelA()
+            truth = {"kappa": 2.0, "omega0": 0.1, "omega2": omega2, "p0": 0.55, "p1": 0.25}
+        sim = simulate_alignment(tree, model, truth, N_CODONS, seed=1000 * rep + int(omega2 * 10))
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m),
+            seed=rep + 1,
+            max_iterations=30,
+        )
+        rejections += test.lrt.significant()
+    rate = rejections / REPLICATES
+    label = (
+        "false positive rate (should be < ~0.05)" if omega2 == 1.0
+        else "power (should grow with omega2)"
+    )
+    print(f"{omega2:>7.1f} {rejections:>5d}/{REPLICATES:<5d} {rate:>6.2f}  {label}")
+
+print("\nNote: the chi2_1 threshold is conservative at the omega2 = 1 boundary "
+      "(§ LRT docs),\nso the realised false positive rate sits below the nominal 5%.")

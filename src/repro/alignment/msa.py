@@ -1,0 +1,227 @@
+"""Codon alignment container and nucleotide→codon-state encoding.
+
+Each alignment cell is encoded as one of:
+
+* a sense-codon state index in ``[0, n_states)``,
+* :data:`MISSING` (−1): a gap / fully unknown codon — its leaf CLV is a
+  vector of ones (Felsenstein's convention for missing data),
+* :data:`AMBIGUOUS` (−2): partially known (IUPAC ambiguity letters);
+  the set of compatible sense codons is stored per cell and the leaf CLV
+  is the indicator of that set.
+
+Stop codons in observed data are rejected by default — they cannot
+appear in the codon-model state space — or can be downgraded to missing
+(CodeML's ``cleandata`` spirit) with ``on_stop="missing"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.codon.genetic_code import GeneticCode, NUCLEOTIDES, UNIVERSAL
+
+__all__ = ["CodonAlignment", "MISSING", "AMBIGUOUS", "IUPAC"]
+
+#: Cell code for a completely unknown codon (gap, ???, NNN).
+MISSING = -1
+#: Cell code for a partially known codon; see CodonAlignment.ambiguity_sets.
+AMBIGUOUS = -2
+
+#: IUPAC nucleotide ambiguity codes over the TCAG alphabet ("U" folds to "T").
+IUPAC: Dict[str, str] = {
+    "T": "T", "C": "C", "A": "A", "G": "G", "U": "T",
+    "R": "AG", "Y": "CT", "S": "CG", "W": "AT", "K": "GT", "M": "AC",
+    "B": "CGT", "D": "AGT", "H": "ACT", "V": "ACG",
+    "N": "TCAG", "X": "TCAG", "?": "TCAG", "-": "TCAG",
+}
+
+
+def _possible_codons(triplet: str, code: GeneticCode) -> Tuple[int, ...]:
+    """Sense-codon state indices compatible with a (possibly ambiguous) triplet."""
+    try:
+        choices = [IUPAC[base] for base in triplet]
+    except KeyError as exc:
+        raise ValueError(f"unknown nucleotide symbol {exc.args[0]!r} in codon {triplet!r}") from None
+    index = code.codon_index
+    states = []
+    for n1 in choices[0]:
+        for n2 in choices[1]:
+            for n3 in choices[2]:
+                state = index.get(n1 + n2 + n3)
+                if state is not None:
+                    states.append(state)
+    return tuple(sorted(states))
+
+
+@dataclass
+class CodonAlignment:
+    """An encoded codon MSA.
+
+    Attributes
+    ----------
+    names:
+        Taxon names, one per row.
+    states:
+        ``(n_taxa, n_codons)`` int array of cell codes (see module doc).
+    ambiguity_sets:
+        For each :data:`AMBIGUOUS` cell, ``(row, col) → tuple`` of
+        compatible state indices.
+    code:
+        The genetic code used for encoding.
+    """
+
+    names: List[str]
+    states: np.ndarray
+    ambiguity_sets: Dict[Tuple[int, int], Tuple[int, ...]] = field(default_factory=dict)
+    code: GeneticCode = UNIVERSAL
+
+    def __post_init__(self) -> None:
+        self.states = np.asarray(self.states, dtype=np.int32)
+        if self.states.ndim != 2:
+            raise ValueError(f"states must be 2-D, got shape {self.states.shape}")
+        if len(self.names) != self.states.shape[0]:
+            raise ValueError(
+                f"{len(self.names)} names but {self.states.shape[0]} sequence rows"
+            )
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate taxon names in alignment")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_taxa(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def n_codons(self) -> int:
+        return self.states.shape[1]
+
+    def row(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise KeyError(f"taxon {name!r} not in alignment") from None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequences(
+        cls,
+        names: Sequence[str],
+        sequences: Sequence[str],
+        code: GeneticCode = UNIVERSAL,
+        on_stop: str = "raise",
+    ) -> "CodonAlignment":
+        """Encode raw nucleotide strings into a codon alignment.
+
+        Parameters
+        ----------
+        on_stop:
+            ``"raise"`` rejects alignments containing unambiguous stop
+            codons; ``"missing"`` treats such cells as missing data.
+        """
+        if on_stop not in ("raise", "missing"):
+            raise ValueError(f"on_stop must be 'raise' or 'missing', got {on_stop!r}")
+        if len(names) != len(sequences):
+            raise ValueError("names and sequences differ in length")
+        if not sequences:
+            raise ValueError("empty alignment")
+        lengths = {len(s) for s in sequences}
+        if len(lengths) != 1:
+            raise ValueError(f"sequences have unequal lengths: {sorted(lengths)}")
+        (nt_len,) = lengths
+        if nt_len % 3 != 0:
+            raise ValueError(f"alignment length {nt_len} is not a multiple of 3")
+        n_codons = nt_len // 3
+
+        index = code.codon_index
+        states = np.full((len(names), n_codons), MISSING, dtype=np.int32)
+        ambiguity: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        n_states = code.n_states
+
+        for row, seq in enumerate(sequences):
+            seq = seq.upper().replace("U", "T")
+            for col in range(n_codons):
+                triplet = seq[3 * col : 3 * col + 3]
+                state = index.get(triplet)
+                if state is not None:
+                    states[row, col] = state
+                    continue
+                if all(base in NUCLEOTIDES for base in triplet):
+                    # Unambiguous but not a sense codon: a stop codon.
+                    if on_stop == "raise":
+                        raise ValueError(
+                            f"stop codon {triplet!r} at codon {col + 1} of "
+                            f"{names[row]!r}; pass on_stop='missing' to mask it"
+                        )
+                    states[row, col] = MISSING
+                    continue
+                possible = _possible_codons(triplet, code)
+                if len(possible) == 0:
+                    raise ValueError(
+                        f"codon {triplet!r} at codon {col + 1} of {names[row]!r} "
+                        "is compatible only with stop codons"
+                    )
+                if len(possible) == n_states:
+                    states[row, col] = MISSING
+                elif len(possible) == 1:
+                    states[row, col] = possible[0]
+                else:
+                    states[row, col] = AMBIGUOUS
+                    ambiguity[(row, col)] = possible
+        return cls(names=list(names), states=states, ambiguity_sets=ambiguity, code=code)
+
+    # ------------------------------------------------------------------
+    def to_sequences(self) -> List[str]:
+        """Decode back to nucleotide strings (missing → ``---``).
+
+        Ambiguous cells decode to ``NNN`` — the original ambiguity letters
+        are not retained, so this is lossy only for partially ambiguous
+        cells.
+        """
+        sense = self.code.sense_codons
+        out = []
+        for row in range(self.n_taxa):
+            parts = []
+            for col in range(self.n_codons):
+                state = int(self.states[row, col])
+                if state == MISSING:
+                    parts.append("---")
+                elif state == AMBIGUOUS:
+                    parts.append("NNN")
+                else:
+                    parts.append(sense[state])
+            out.append("".join(parts))
+        return out
+
+    def leaf_clv(self, row: int, col: int) -> np.ndarray:
+        """Leaf conditional probability vector for one cell (Fig. 2 leaves)."""
+        clv = np.zeros(self.code.n_states)
+        state = int(self.states[row, col])
+        if state == MISSING:
+            clv[:] = 1.0
+        elif state == AMBIGUOUS:
+            clv[list(self.ambiguity_sets[(row, col)])] = 1.0
+        else:
+            clv[state] = 1.0
+        return clv
+
+    def subset_taxa(self, keep: Sequence[str]) -> "CodonAlignment":
+        """Restrict to the given taxa (in the given order)."""
+        rows = [self.row(name) for name in keep]
+        states = self.states[rows, :].copy()
+        ambiguity = {
+            (i, col): states_set
+            for i, old_row in enumerate(rows)
+            for (r, col), states_set in self.ambiguity_sets.items()
+            if r == old_row
+        }
+        return CodonAlignment(list(keep), states, ambiguity, self.code)
+
+    def drop_incomplete_columns(self) -> "CodonAlignment":
+        """CodeML ``cleandata = 1``: remove columns with any missing/ambiguous cell."""
+        complete = np.all(self.states >= 0, axis=0)
+        return CodonAlignment(
+            list(self.names), self.states[:, complete].copy(), {}, self.code
+        )

@@ -1,0 +1,223 @@
+"""``slimcodeml`` command-line interface.
+
+Mirrors CodeML's workflow: a control file (or direct flags) names the
+sequence file, the tree file with its ``#1`` foreground mark, and the
+options; the run fits H0 and H1 of branch-site model A, performs the
+LRT, optionally computes BEB site probabilities, and writes an
+``mlc``-style report.
+
+Subcommands
+-----------
+``run``        one branch-site analysis (H0 + H1 + LRT [+ BEB])
+``simulate``   generate a synthetic dataset (tree + alignment)
+``datasets``   materialise the Table II stand-in datasets to disk
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.alignment.parsers import read_alignment, write_phylip
+from repro.core.engine import make_engine
+from repro.io.ctl import ControlFile, parse_ctl
+from repro.io.report import format_report
+from repro.optimize.beb import beb_site_probabilities
+from repro.optimize.ml import fit_branch_site_test
+from repro.trees.newick import parse_newick, write_newick
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slimcodeml",
+        description="SlimCodeML reproduction: branch-site test for positive selection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the H0+H1 branch-site analysis")
+    run.add_argument("--ctl", help="CodeML-style control file")
+    run.add_argument("--seqfile", help="alignment (PHYLIP or FASTA)")
+    run.add_argument("--treefile", help="Newick tree with #1 foreground mark")
+    run.add_argument("--out", default="-", help="report destination ('-' = stdout)")
+    run.add_argument(
+        "--engine",
+        default=None,
+        choices=["codeml", "slim", "slim-v2"],
+        help="likelihood engine (default from ctl, else slim)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="start-value seed")
+    run.add_argument("--max-iterations", type=int, default=None)
+    run.add_argument("--beb", action="store_true", help="compute BEB site probabilities")
+    run.add_argument("--cleandata", action="store_true", help="drop columns with gaps")
+
+    sim = sub.add_parser("simulate", help="simulate a dataset under branch-site model A")
+    sim.add_argument("--species", type=int, default=12)
+    sim.add_argument("--codons", type=int, default=300)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--omega2", type=float, default=3.0)
+    sim.add_argument("--prefix", required=True, help="output prefix (.phy and .nwk written)")
+
+    data = sub.add_parser("datasets", help="write the Table II stand-in datasets")
+    data.add_argument("--outdir", required=True)
+    data.add_argument(
+        "--only", nargs="*", default=None, help="subset of dataset ids (i ii iii iv)"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="quick engine comparison on one dataset (Table IV in miniature)"
+    )
+    bench.add_argument("--dataset", default="iii", choices=["i", "ii", "iii", "iv"])
+    bench.add_argument("--iterations", type=int, default=2)
+    bench.add_argument(
+        "--engines", nargs="*", default=["codeml", "slim", "slim-v2"],
+        choices=["codeml", "slim", "slim-v2"],
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.ctl:
+        ctl = parse_ctl(args.ctl)
+    else:
+        if not (args.seqfile and args.treefile):
+            print("error: provide --ctl or both --seqfile and --treefile", file=sys.stderr)
+            return 2
+        ctl = ControlFile(seqfile=args.seqfile, treefile=args.treefile)
+    seqfile = args.seqfile or ctl.seqfile
+    treefile = args.treefile or ctl.treefile
+    engine_name = args.engine or ctl.engine
+    seed = args.seed if args.seed is not None else ctl.seed
+    max_iterations = (
+        args.max_iterations if args.max_iterations is not None else ctl.max_iterations
+    )
+
+    alignment = read_alignment(seqfile)
+    if args.cleandata or ctl.cleandata:
+        alignment = alignment.drop_incomplete_columns()
+    tree = parse_newick(open(treefile, encoding="utf-8").read())
+    tree.require_single_foreground()
+
+    engine = make_engine(engine_name)
+    test = fit_branch_site_test(
+        lambda model: engine.bind(tree, alignment, model, freq_method=ctl.freq_method),
+        seed=seed,
+        max_iterations=max_iterations,
+        start_overrides={"kappa": ctl.kappa},
+        fixed_params={"kappa"} if ctl.fix_kappa else None,
+    )
+    sites = None
+    if args.beb:
+        bound = engine.bind(
+            tree, alignment, _h1_model(), freq_method=ctl.freq_method
+        )
+        sites = beb_site_probabilities(bound, test.h1.values, test.h1.branch_lengths)
+
+    report = format_report(test, tree=tree, sites=sites, dataset_name=seqfile)
+    if args.out == "-":
+        print(report)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _h1_model():
+    from repro.models.branch_site import BranchSiteModelA
+
+    return BranchSiteModelA(fix_omega2=False)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.alignment.simulate import simulate_alignment
+    from repro.models.branch_site import BranchSiteModelA
+    from repro.trees.simulate import random_foreground, simulate_yule_tree
+
+    tree = simulate_yule_tree(args.species, seed=args.seed)
+    random_foreground(tree, seed=args.seed + 1, internal_only=args.species >= 5)
+    values = {"kappa": 2.2, "omega0": 0.2, "omega2": args.omega2, "p0": 0.5, "p1": 0.35}
+    sim = simulate_alignment(
+        tree, BranchSiteModelA(), values, n_codons=args.codons, seed=args.seed + 2
+    )
+    write_phylip(sim.alignment, f"{args.prefix}.phy")
+    with open(f"{args.prefix}.nwk", "w", encoding="utf-8") as handle:
+        handle.write(write_newick(tree) + "\n")
+    print(f"wrote {args.prefix}.phy and {args.prefix}.nwk "
+          f"({args.species} species x {args.codons} codons)")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.datasets import TABLE2_SPECS, make_dataset
+
+    names = args.only if args.only else sorted(TABLE2_SPECS)
+    os.makedirs(args.outdir, exist_ok=True)
+    for name in names:
+        ds = make_dataset(name)
+        prefix = os.path.join(args.outdir, f"dataset_{name}")
+        write_phylip(ds.alignment, f"{prefix}.phy")
+        with open(f"{prefix}.nwk", "w", encoding="utf-8") as handle:
+            handle.write(write_newick(ds.tree) + "\n")
+        n_pos = int(np.sum(ds.true_site_classes >= 2))
+        print(
+            f"dataset {name}: {ds.spec.n_species} species x {ds.spec.n_codons} codons, "
+            f"{n_pos} positively-selected sites -> {prefix}.phy/.nwk"
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.datasets import make_dataset
+    from repro.optimize.ml import fit_branch_site_test
+    from repro.utils.numerics import relative_difference
+
+    print(f"generating dataset {args.dataset!r}...")
+    ds = make_dataset(args.dataset)
+    print(
+        f"  {ds.spec.n_species} species x {ds.spec.n_codons} codons, "
+        f"{ds.tree.n_branches} branches; {args.iterations} optimizer "
+        "iterations per hypothesis\n"
+    )
+    runs = {}
+    for name in args.engines:
+        engine = make_engine(name)
+        runs[name] = fit_branch_site_test(
+            lambda m: engine.bind(ds.tree, ds.alignment, m),
+            seed=1,
+            max_iterations=args.iterations,
+        )
+    reference = runs[args.engines[0]]
+    print(f"{'engine':<10s} {'H0+H1 (s)':>10s} {'speedup':>8s} {'lnL H1':>14s} {'D':>10s}")
+    for name, test in runs.items():
+        speedup = reference.combined_runtime / test.combined_runtime
+        d = relative_difference(reference.h1.lnl, test.h1.lnl)
+        print(
+            f"{name:<10s} {test.combined_runtime:>10.2f} {speedup:>7.2f}x "
+            f"{test.h1.lnl:>14.4f} {d:>10.2e}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (returns the process exit code)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

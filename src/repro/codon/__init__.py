@@ -1,0 +1,46 @@
+"""Codon machinery: genetic codes, substitution classification, frequencies, Q matrices.
+
+This subpackage is the model substrate underneath the branch-site model:
+it defines the 61-state codon alphabet (universal code), classifies
+single-nucleotide codon changes as transitions/transversions and
+synonymous/non-synonymous (paper Eq. 1), estimates equilibrium codon
+frequencies from an alignment (CodeML's ``CodonFreq`` options), and
+assembles the reversible instantaneous rate matrix ``Q = S Π``.
+"""
+
+from repro.codon.classify import CodonPairClass, PairKind, classify_pair, classification_table
+from repro.codon.frequencies import (
+    codon_frequencies_equal,
+    codon_frequencies_f1x4,
+    codon_frequencies_f3x4,
+    codon_frequencies_f61,
+    estimate_codon_frequencies,
+)
+from repro.codon.genetic_code import (
+    GeneticCode,
+    NUCLEOTIDES,
+    UNIVERSAL,
+    VERTEBRATE_MITOCHONDRIAL,
+    get_genetic_code,
+)
+from repro.codon.matrix import CodonRateMatrix, build_rate_matrix, exchangeability_matrix
+
+__all__ = [
+    "CodonPairClass",
+    "CodonRateMatrix",
+    "GeneticCode",
+    "NUCLEOTIDES",
+    "PairKind",
+    "UNIVERSAL",
+    "VERTEBRATE_MITOCHONDRIAL",
+    "build_rate_matrix",
+    "classification_table",
+    "classify_pair",
+    "codon_frequencies_equal",
+    "codon_frequencies_f1x4",
+    "codon_frequencies_f3x4",
+    "codon_frequencies_f61",
+    "estimate_codon_frequencies",
+    "exchangeability_matrix",
+    "get_genetic_code",
+]

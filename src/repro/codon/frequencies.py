@@ -1,0 +1,155 @@
+"""Equilibrium codon frequency estimators (CodeML's ``CodonFreq`` options).
+
+The paper determines the codon frequencies ``pi_i`` "empirically from the
+MSA" (§II-A).  CodeML offers four estimators, all reproduced here:
+
+* ``equal``  — ``CodonFreq = 0``: uniform over sense codons.
+* ``F1x4``   — ``CodonFreq = 1``: products of overall nucleotide
+  frequencies.
+* ``F3x4``   — ``CodonFreq = 2``: products of position-specific
+  nucleotide frequencies (CodeML's default for codon models, and what
+  Selectome uses).
+* ``F61``    — ``CodonFreq = 3``: observed codon proportions.
+
+Stop codons are excluded and the vector renormalised; zero frequencies
+are floored at a small pseudo-frequency because the symmetrising
+transform ``Π^{±1/2}`` (paper Eq. 2) requires strictly positive ``pi``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.codon.genetic_code import NUCLEOTIDES, GeneticCode, UNIVERSAL
+
+__all__ = [
+    "codon_frequencies_equal",
+    "codon_frequencies_f1x4",
+    "codon_frequencies_f3x4",
+    "codon_frequencies_f61",
+    "frequencies_from_counts",
+]
+
+#: Floor applied to empirical frequencies so that Π is invertible.
+MIN_FREQUENCY = 1e-10
+
+
+def _codon_columns(sequences: Sequence[str]) -> Iterable[str]:
+    """Yield every codon (3-mer) from every sequence, skipping gaps/ambiguity."""
+    for seq in sequences:
+        seq = seq.upper().replace("U", "T")
+        if len(seq) % 3 != 0:
+            raise ValueError(f"sequence length {len(seq)} is not a multiple of 3")
+        for k in range(0, len(seq), 3):
+            codon = seq[k : k + 3]
+            if all(base in NUCLEOTIDES for base in codon):
+                yield codon
+
+
+def _normalize(freqs: np.ndarray) -> np.ndarray:
+    freqs = np.maximum(np.asarray(freqs, dtype=float), MIN_FREQUENCY)
+    return freqs / freqs.sum()
+
+
+def codon_frequencies_equal(code: GeneticCode = UNIVERSAL) -> np.ndarray:
+    """Uniform frequencies over the sense codons (``CodonFreq = 0``)."""
+    n = code.n_states
+    return np.full(n, 1.0 / n)
+
+
+def _nucleotide_counts(sequences: Sequence[str], by_position: bool) -> np.ndarray:
+    """Counts of T/C/A/G, either pooled (shape (4,)) or per codon position (3, 4)."""
+    counts = np.zeros((3, 4)) if by_position else np.zeros(4)
+    nuc_index = {n: i for i, n in enumerate(NUCLEOTIDES)}
+    seen = False
+    for codon in _codon_columns(sequences):
+        seen = True
+        for pos, base in enumerate(codon):
+            if by_position:
+                counts[pos, nuc_index[base]] += 1
+            else:
+                counts[nuc_index[base]] += 1
+    if not seen:
+        raise ValueError("no unambiguous codons found in the alignment")
+    return counts
+
+
+def _product_frequencies(nuc_freqs: np.ndarray, code: GeneticCode) -> np.ndarray:
+    """Build sense-codon frequencies from per-position nucleotide frequencies.
+
+    ``nuc_freqs`` has shape (3, 4): a distribution over TCAG per codon
+    position (F1x4 passes the same row three times).
+    """
+    sense = code.sense_codons
+    nuc_index = {n: i for i, n in enumerate(NUCLEOTIDES)}
+    freqs = np.array(
+        [
+            nuc_freqs[0, nuc_index[c[0]]]
+            * nuc_freqs[1, nuc_index[c[1]]]
+            * nuc_freqs[2, nuc_index[c[2]]]
+            for c in sense
+        ]
+    )
+    return _normalize(freqs)
+
+
+def codon_frequencies_f1x4(sequences: Sequence[str], code: GeneticCode = UNIVERSAL) -> np.ndarray:
+    """F1x4 (``CodonFreq = 1``): overall nucleotide frequency products."""
+    counts = _nucleotide_counts(sequences, by_position=False)
+    nuc_freqs = counts / counts.sum()
+    return _product_frequencies(np.tile(nuc_freqs, (3, 1)), code)
+
+
+def codon_frequencies_f3x4(sequences: Sequence[str], code: GeneticCode = UNIVERSAL) -> np.ndarray:
+    """F3x4 (``CodonFreq = 2``): position-specific nucleotide frequency products."""
+    counts = _nucleotide_counts(sequences, by_position=True)
+    row_sums = counts.sum(axis=1, keepdims=True)
+    if np.any(row_sums == 0):
+        raise ValueError("a codon position has no observed nucleotides")
+    return _product_frequencies(counts / row_sums, code)
+
+
+def codon_frequencies_f61(sequences: Sequence[str], code: GeneticCode = UNIVERSAL) -> np.ndarray:
+    """F61 (``CodonFreq = 3``): observed sense-codon proportions."""
+    counter: Counter[str] = Counter()
+    for codon in _codon_columns(sequences):
+        if not code.is_stop(codon):
+            counter[codon] += 1
+    if not counter:
+        raise ValueError("no sense codons found in the alignment")
+    counts = np.array([counter.get(c, 0) for c in code.sense_codons], dtype=float)
+    return frequencies_from_counts(counts)
+
+
+def frequencies_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Normalise raw sense-codon counts into a floored frequency vector."""
+    counts = np.asarray(counts, dtype=float)
+    if np.any(counts < 0):
+        raise ValueError("codon counts must be non-negative")
+    if counts.sum() == 0:
+        raise ValueError("cannot normalise an all-zero count vector")
+    return _normalize(counts / counts.sum())
+
+
+ESTIMATORS = {
+    "equal": lambda seqs, code: codon_frequencies_equal(code),
+    "f1x4": codon_frequencies_f1x4,
+    "f3x4": codon_frequencies_f3x4,
+    "f61": codon_frequencies_f61,
+}
+
+
+def estimate_codon_frequencies(
+    sequences: Sequence[str], method: str = "f3x4", code: GeneticCode = UNIVERSAL
+) -> np.ndarray:
+    """Dispatch to one of the four estimators by CodeML-style name."""
+    try:
+        estimator = ESTIMATORS[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown CodonFreq method {method!r}; available: {sorted(ESTIMATORS)}"
+        ) from None
+    return estimator(sequences, code)

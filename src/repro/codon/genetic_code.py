@@ -1,0 +1,189 @@
+"""Genetic codes and the sense-codon state space.
+
+Codon models operate on the *sense* codons only (stop codons are excluded
+from the state space): 61 states under the universal code, which is where
+the paper's ``61 × 61`` substitution matrix comes from.  We follow PAML's
+nucleotide ordering ``T, C, A, G`` so codon indices match CodeML's
+internal numbering (codon ``i`` has index ``16*n1 + 4*n2 + n3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: Nucleotide alphabet in PAML order; index(T)=0, C=1, A=2, G=3.
+NUCLEOTIDES = "TCAG"
+
+_NUC_INDEX = {nuc: i for i, nuc in enumerate(NUCLEOTIDES)}
+
+#: Purines / pyrimidines for the transition-transversion distinction.
+PURINES = frozenset("AG")
+PYRIMIDINES = frozenset("TC")
+
+# NCBI translation table 1 (standard) expressed over the TCAG ordering.
+_UNIVERSAL_AA = (
+    "FFLLSSSSYY**CC*W"  # TTT..TGG
+    "LLLLPPPPHHQQRRRR"  # CTT..CGG
+    "IIIMTTTTNNKKSSRR"  # ATT..AGG
+    "VVVVAAAADDEEGGGG"  # GTT..GGG
+)
+
+# NCBI translation table 2 (vertebrate mitochondrial): AGA/AGG are stops,
+# ATA codes Met, TGA codes Trp -> 60 sense codons.
+_VERT_MITO_AA = (
+    "FFLLSSSSYY**CCWW"
+    "LLLLPPPPHHQQRRRR"
+    "IIMMTTTTNNKKSS**"
+    "VVVVAAAADDEEGGGG"
+)
+
+
+def _all_codons() -> Tuple[str, ...]:
+    return tuple(a + b + c for a in NUCLEOTIDES for b in NUCLEOTIDES for c in NUCLEOTIDES)
+
+
+@dataclass(frozen=True, eq=False)
+class GeneticCode:
+    """A genetic code: the map codon → amino acid, and the sense-codon space.
+
+    Instances compare (and hash) by identity: codes are module-level
+    singletons, and identity semantics keep them usable as ``lru_cache``
+    keys despite holding a dict.
+
+    Attributes
+    ----------
+    name:
+        Human-readable code name, e.g. ``"universal"``.
+    ncbi_table:
+        NCBI translation table number (1 = standard, 2 = vertebrate mito).
+    codon_to_aa:
+        Map from all 64 codon strings to one-letter amino acids, with
+        ``"*"`` for stop codons.
+    """
+
+    name: str
+    ncbi_table: int
+    codon_to_aa: Dict[str, str] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.codon_to_aa) != 64:
+            raise ValueError(f"genetic code must define all 64 codons, got {len(self.codon_to_aa)}")
+
+    @property
+    def sense_codons(self) -> Tuple[str, ...]:
+        """Sense codons in TCAG order (61 for the universal code)."""
+        return _sense_codons_cached(self)
+
+    @property
+    def stop_codons(self) -> Tuple[str, ...]:
+        return tuple(c for c in _all_codons() if self.codon_to_aa[c] == "*")
+
+    @property
+    def n_states(self) -> int:
+        """Dimension of the codon state space (61 for the universal code)."""
+        return len(self.sense_codons)
+
+    @property
+    def codon_index(self) -> Dict[str, int]:
+        """Map sense codon → state index in ``[0, n_states)``."""
+        return _codon_index_cached(self)
+
+    def is_stop(self, codon: str) -> bool:
+        try:
+            return self.codon_to_aa[codon.upper()] == "*"
+        except KeyError:
+            raise ValueError(f"not a codon: {codon!r}") from None
+
+    def translate(self, codon: str) -> str:
+        """One-letter amino acid for ``codon`` (``"*"`` for stops)."""
+        try:
+            return self.codon_to_aa[codon.upper()]
+        except KeyError:
+            raise ValueError(f"not a codon: {codon!r}") from None
+
+    def translate_sequence(self, seq: str) -> str:
+        """Translate a nucleotide string whose length is a multiple of 3."""
+        seq = seq.upper().replace("U", "T")
+        if len(seq) % 3 != 0:
+            raise ValueError(f"sequence length {len(seq)} is not a multiple of 3")
+        return "".join(self.translate(seq[i : i + 3]) for i in range(0, len(seq), 3))
+
+    def synonymous(self, codon_a: str, codon_b: str) -> bool:
+        """True if the two sense codons encode the same amino acid."""
+        aa, ab = self.translate(codon_a), self.translate(codon_b)
+        if "*" in (aa, ab):
+            raise ValueError("synonymy is undefined for stop codons")
+        return aa == ab
+
+
+@lru_cache(maxsize=8)
+def _sense_codons_cached(code: GeneticCode) -> Tuple[str, ...]:
+    return tuple(c for c in _all_codons() if code.codon_to_aa[c] != "*")
+
+
+@lru_cache(maxsize=8)
+def _codon_index_cached(code: GeneticCode) -> Dict[str, int]:
+    return {c: i for i, c in enumerate(code.sense_codons)}
+
+
+def _make_code(name: str, ncbi_table: int, aa_string: str) -> GeneticCode:
+    codons = _all_codons()
+    if len(aa_string) != 64:
+        raise ValueError("amino acid string must have 64 entries")
+    return GeneticCode(name=name, ncbi_table=ncbi_table, codon_to_aa=dict(zip(codons, aa_string)))
+
+
+#: The standard genetic code (NCBI table 1); 61 sense codons.
+UNIVERSAL = _make_code("universal", 1, _UNIVERSAL_AA)
+
+#: Vertebrate mitochondrial code (NCBI table 2); 60 sense codons.
+VERTEBRATE_MITOCHONDRIAL = _make_code("vertebrate-mitochondrial", 2, _VERT_MITO_AA)
+
+_CODES = {
+    "universal": UNIVERSAL,
+    "standard": UNIVERSAL,
+    "vertebrate-mitochondrial": VERTEBRATE_MITOCHONDRIAL,
+    "vertmt": VERTEBRATE_MITOCHONDRIAL,
+}
+
+
+def get_genetic_code(name: str = "universal") -> GeneticCode:
+    """Look up a genetic code by name (``"universal"`` or ``"vertmt"``)."""
+    try:
+        return _CODES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown genetic code {name!r}; available: {sorted(set(_CODES))}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def nucleotide_diff_positions(codon_a: str, codon_b: str) -> Tuple[int, ...]:
+    """Positions (0-2) at which two codons differ."""
+    if len(codon_a) != 3 or len(codon_b) != 3:
+        raise ValueError("codons must have length 3")
+    return tuple(k for k in range(3) if codon_a[k] != codon_b[k])
+
+
+def is_transition(nuc_a: str, nuc_b: str) -> bool:
+    """True if ``nuc_a → nuc_b`` is a transition (purine↔purine or pyr↔pyr)."""
+    if nuc_a == nuc_b:
+        raise ValueError("identical nucleotides have no substitution type")
+    if nuc_a not in _NUC_INDEX or nuc_b not in _NUC_INDEX:
+        raise ValueError(f"not nucleotides: {nuc_a!r}, {nuc_b!r}")
+    return (nuc_a in PURINES) == (nuc_b in PURINES)
+
+
+def codon_index_array(code: GeneticCode) -> np.ndarray:
+    """Indices of the sense codons within the full 64-codon TCAG grid.
+
+    Useful for mapping 64-long per-position frequency products down to
+    the sense-codon state space (see F1x4/F3x4 estimators).
+    """
+    all64 = _all_codons()
+    sense = set(code.sense_codons)
+    return np.array([i for i, c in enumerate(all64) if c in sense], dtype=np.intp)

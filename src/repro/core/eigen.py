@@ -1,0 +1,171 @@
+"""Symmetrisation and spectral decomposition of the codon rate matrix.
+
+Paper §II-C1 / §III-A steps 1–2.  Because the model is time-reversible,
+``Q = SΠ`` with ``S`` symmetric, so
+
+    A := Π^{1/2} S Π^{1/2}        (Eq. 2)
+
+is symmetric and similar to ``Q`` (``A = Π^{1/2} Q Π^{-1/2}``).  Its
+eigenproblem is always well-conditioned (Moler & Van Loan) and solved
+with LAPACK's ``dsyevr`` — multiple relatively robust representations —
+which is exactly what ``scipy.linalg.eigh(driver="evr")`` calls.
+
+One decomposition per distinct ω value serves *every* branch of the tree
+(only the ``e^{Λt}`` rescaling depends on the branch length), which is
+why the engines cache :class:`SpectralDecomposition` objects keyed by the
+rate-matrix parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.linalg
+
+from repro.codon.matrix import CodonRateMatrix
+from repro.core.flops import FlopCounter, eigh_flops
+from repro.utils.numerics import validate_probability_vector, validate_square
+
+__all__ = ["SpectralDecomposition", "symmetrize", "decompose", "DecompositionCache"]
+
+
+def symmetrize(rate_matrix: CodonRateMatrix) -> np.ndarray:
+    """Return ``A = Π^{1/2} S Π^{1/2}`` (Eq. 2) for a built rate matrix.
+
+    The result is numerically symmetrised (averaged with its transpose)
+    so the symmetric eigensolver sees an exactly symmetric input.
+    """
+    pi = rate_matrix.pi
+    sqrt_pi = np.sqrt(pi)
+    a = (sqrt_pi[:, None] * rate_matrix.s) * sqrt_pi[None, :]
+    return 0.5 * (a + a.T)
+
+
+@dataclass(frozen=True)
+class SpectralDecomposition:
+    """Eigendecomposition ``A = X Λ Xᵀ`` plus the Π^{±1/2} scalings.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Real eigenvalues ``λ_1..λ_n`` of ``A`` (all ≤ 0 apart from the
+        zero eigenvalue corresponding to the stationary distribution).
+    eigenvectors:
+        Orthonormal eigenvector matrix ``X`` stored Fortran-ordered so
+        the BLAS kernels consume it without copies (paper §V-C storage
+        rule of thumb).
+    pi, sqrt_pi, inv_sqrt_pi:
+        The stationary distribution and its elementwise square roots.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    pi: np.ndarray
+    sqrt_pi: np.ndarray
+    inv_sqrt_pi: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        return self.eigenvalues.shape[0]
+
+    def reconstruct_a(self) -> np.ndarray:
+        """Rebuild ``A`` from the factors (used by round-trip tests)."""
+        x = self.eigenvectors
+        return (x * self.eigenvalues[None, :]) @ x.T
+
+    def reconstruct_q(self) -> np.ndarray:
+        """Rebuild ``Q = Π^{-1/2} A Π^{1/2}`` from the factors."""
+        a = self.reconstruct_a()
+        return (self.inv_sqrt_pi[:, None] * a) * self.sqrt_pi[None, :]
+
+
+def decompose(
+    rate_matrix: CodonRateMatrix,
+    driver: str = "evr",
+    counter: Optional[FlopCounter] = None,
+) -> SpectralDecomposition:
+    """Spectrally decompose a codon rate matrix via its symmetric form.
+
+    Parameters
+    ----------
+    rate_matrix:
+        Output of :func:`repro.codon.matrix.build_rate_matrix`.
+    driver:
+        LAPACK driver for :func:`scipy.linalg.eigh`; ``"evr"`` (dsyevr /
+        MRRR) is the paper's choice, ``"ev"`` (QR) is also accepted.
+    counter:
+        Optional flop accounting sink.
+    """
+    a = symmetrize(rate_matrix)
+    validate_square(a, name="A")
+    eigenvalues, eigenvectors = scipy.linalg.eigh(a, driver=driver)
+    if counter is not None:
+        counter.add("eigh(dsyevr)" if driver == "evr" else f"eigh({driver})", eigh_flops(a.shape[0]))
+    pi = validate_probability_vector(rate_matrix.pi, name="pi")
+    sqrt_pi = np.sqrt(pi)
+    return SpectralDecomposition(
+        eigenvalues=np.ascontiguousarray(eigenvalues),
+        eigenvectors=np.asfortranarray(eigenvectors),
+        pi=pi,
+        sqrt_pi=sqrt_pi,
+        inv_sqrt_pi=1.0 / sqrt_pi,
+    )
+
+
+class DecompositionCache:
+    """LRU cache of spectral decompositions keyed by model parameters.
+
+    A branch-site likelihood evaluation needs decompositions for at most
+    three distinct ω values (ω0, ω1 = 1, ω2) regardless of tree size;
+    within one evaluation — and across evaluations that leave (κ, ω)
+    untouched, e.g. the branch-length sweeps of a finite-difference
+    gradient — the cache turns repeat decompositions into dictionary
+    lookups.  Keys quantise parameters to 15 significant digits so the
+    cache is insensitive to benign float formatting round-trips.
+    """
+
+    def __init__(self, maxsize: int = 16, driver: str = "evr") -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self._maxsize = maxsize
+        self._driver = driver
+        self._store: dict[tuple, SpectralDecomposition] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(rate_matrix: CodonRateMatrix) -> tuple:
+        return (
+            round(float(rate_matrix.kappa), 15),
+            round(float(rate_matrix.omega), 15),
+            round(float(rate_matrix.scale), 15),
+            hash(rate_matrix.pi.tobytes()),
+        )
+
+    def get(
+        self,
+        rate_matrix: CodonRateMatrix,
+        counter: Optional[FlopCounter] = None,
+    ) -> SpectralDecomposition:
+        key = self._key(rate_matrix)
+        found = self._store.pop(key, None)
+        if found is not None:
+            self.hits += 1
+            self._store[key] = found  # refresh LRU position
+            return found
+        self.misses += 1
+        decomp = decompose(rate_matrix, driver=self._driver, counter=counter)
+        self._store[key] = decomp
+        while len(self._store) > self._maxsize:
+            self._store.pop(next(iter(self._store)))
+        return decomp
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)

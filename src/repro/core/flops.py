@@ -1,0 +1,123 @@
+"""Analytic floating-point and memory-traffic accounting.
+
+The paper's central claim is arithmetic: reconstructing ``e^{At}`` as
+``(X e^{Λt}) Xᵀ`` (``dgemm``) costs ≈2n³ flops while ``Y Yᵀ`` with
+``Y = X e^{Λt/2}`` (``dsyrk``) costs ≈n³ (§II-C1, citing van de Geijn &
+Quintana-Ortí).  This module encodes those cost models so tests and
+benchmarks can verify the claimed ratio exactly, independent of
+wall-clock noise, and so the engines can report how their work divides
+between exponentials and CLV propagation.
+
+Flop conventions (one fused multiply-add = 2 flops):
+
+* ``gemm``  C(m×n) += A(m×k) B(k×n):          2·m·n·k
+* ``syrk``  C(n×n) = A(n×k) Aᵀ (half stored):  k·n·(n+1)
+* ``gemv``  y(m) = A(m×n) x:                   2·m·n
+* ``symv``  y(n) = A(sym n×n) x:               2·n²  (but ~half the matrix reads)
+* ``symm``  C(m×n) = A(sym m×m) B(m×n):        2·m²·n (half the A reads)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "FlopCounter",
+    "gemm_flops",
+    "gemv_flops",
+    "symm_flops",
+    "symv_flops",
+    "syrk_flops",
+    "eigh_flops",
+    "gemm_matrix_reads",
+    "symm_matrix_reads",
+]
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Flops of a general matrix product C(m×n) = A(m×k)·B(k×n)."""
+    return 2 * m * n * k
+
+
+def syrk_flops(n: int, k: int) -> int:
+    """Flops of a symmetric rank-k update C(n×n) = A(n×k)·Aᵀ (half stored)."""
+    return k * n * (n + 1)
+
+
+def gemv_flops(m: int, n: int) -> int:
+    """Flops of a general matrix-vector product y(m) = A(m×n)·x."""
+    return 2 * m * n
+
+
+def symv_flops(n: int) -> int:
+    """Flops of a symmetric matrix-vector product (same flops, half reads)."""
+    return 2 * n * n
+
+
+def symm_flops(m: int, n: int) -> int:
+    """Flops of C(m×n) = A(sym m×m)·B(m×n)."""
+    return 2 * m * m * n
+
+
+def eigh_flops(n: int) -> int:
+    """Rough cost of a dense symmetric eigendecomposition (≈ 9n³).
+
+    Tridiagonalisation (≈4/3 n³) + MRRR eigenvalues/vectors + back
+    transformation (≈2n³); the constant follows LAPACK working notes.
+    Only the n³ scaling matters for our accounting.
+    """
+    return 9 * n * n * n
+
+
+def gemm_matrix_reads(m: int, n: int) -> int:
+    """Matrix elements touched when a general m×n operand is streamed once."""
+    return m * n
+
+
+def symm_matrix_reads(n: int) -> int:
+    """Matrix elements touched for a symmetric operand (packed half)."""
+    return n * (n + 1) // 2
+
+
+@dataclass
+class FlopCounter:
+    """Mutable accumulator of analytic flops and matrix-element reads.
+
+    Engines and kernels call :meth:`add`; the benchmark harness reads
+    :attr:`total_flops` / :attr:`by_operation` to report the arithmetic
+    story next to the wall-clock one.
+    """
+
+    by_operation: Dict[str, int] = field(default_factory=dict)
+    matrix_reads: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, operation: str, flops: int, reads: int = 0) -> None:
+        self.by_operation[operation] = self.by_operation.get(operation, 0) + int(flops)
+        if reads:
+            self.matrix_reads[operation] = self.matrix_reads.get(operation, 0) + int(reads)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(self.by_operation.values())
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.matrix_reads.values())
+
+    def reset(self) -> None:
+        self.by_operation.clear()
+        self.matrix_reads.clear()
+
+    def merge(self, other: "FlopCounter") -> None:
+        """Fold another counter's totals into this one (for parallel fits)."""
+        for op, fl in other.by_operation.items():
+            self.add(op, fl)
+        for op, rd in other.matrix_reads.items():
+            self.matrix_reads[op] = self.matrix_reads.get(op, 0) + rd
+
+    def summary(self) -> str:
+        rows = sorted(self.by_operation.items(), key=lambda kv: -kv[1])
+        lines = [f"{op:<28s} {fl:>16,d} flops" for op, fl in rows]
+        lines.append(f"{'TOTAL':<28s} {self.total_flops:>16,d} flops")
+        return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Synthetic stand-ins for the paper's Table II evaluation datasets.
+
+The paper evaluates on four Ensembl alignments curated for Selectome
+(Table II).  We cannot redistribute those, and runtime behaviour depends
+on the *dimensions* — species count drives the number of branches and
+hence matrix exponentials; codon count drives the number of site
+patterns and hence CLV work — so each dataset is replaced by a
+simulated alignment with the same shape (DESIGN.md §5):
+
+===  =======================================  =======  ========
+id   paper dataset (Ensembl family)           species  codons
+===  =======================================  =======  ========
+i    ENSGT00390000016702.Primates.1.2         7        299
+ii   ENSGT00580000081590.Primates.1.2         6        5004
+iii  ENSGT00550000073950.Euteleostomi.7.2     25       67
+iv   ENSGT00530000063518.Primates.1.1         95       39
+===  =======================================  =======  ========
+
+Primates datasets use shallow divergence (short branches), the
+Euteleostomi one deeper divergence, matching the biology the shapes come
+from.  All generation is seed-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.alignment.msa import CodonAlignment
+from repro.alignment.simulate import simulate_alignment
+from repro.models.branch_site import BranchSiteModelA
+from repro.trees.simulate import simulate_yule_tree
+from repro.trees.tree import Tree
+from repro.utils.rng import make_rng
+
+__all__ = ["DatasetSpec", "Dataset", "TABLE2_SPECS", "make_dataset", "species_sweep_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape and generating parameters of one synthetic dataset."""
+
+    name: str
+    paper_id: str
+    n_species: int
+    n_codons: int
+    mean_branch_length: float
+    seed: int
+    #: Generating branch-site parameters (ground truth).  About 25 % of
+    #: sites fall in classes 2a/2b with a strong ω2, so the foreground
+    #: signal survives even the short alignments (datasets iii/iv) and
+    #: the H1 fit has genuine work to do beyond the H0 optimum.
+    kappa: float = 2.2
+    omega0: float = 0.2
+    omega2: float = 6.0
+    p0: float = 0.45
+    p1: float = 0.3
+
+    def true_values(self) -> Dict[str, float]:
+        return {
+            "kappa": self.kappa,
+            "omega0": self.omega0,
+            "omega2": self.omega2,
+            "p0": self.p0,
+            "p1": self.p1,
+        }
+
+
+@dataclass
+class Dataset:
+    """A generated dataset: tree (foreground marked), alignment, truth."""
+
+    spec: DatasetSpec
+    tree: Tree
+    alignment: CodonAlignment
+    true_values: Dict[str, float]
+    true_site_classes: np.ndarray
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+#: Table II shapes.  Seeds are arbitrary fixed constants (paper §IV:
+#: "we fixed the seed for the random number generator").
+TABLE2_SPECS: Dict[str, DatasetSpec] = {
+    "i": DatasetSpec(
+        name="i",
+        paper_id="ENSGT00390000016702.Primates.1.2",
+        n_species=7,
+        n_codons=299,
+        mean_branch_length=0.06,
+        seed=2012_01,
+    ),
+    "ii": DatasetSpec(
+        name="ii",
+        paper_id="ENSGT00580000081590.Primates.1.2",
+        n_species=6,
+        n_codons=5004,
+        mean_branch_length=0.05,
+        seed=2012_02,
+    ),
+    "iii": DatasetSpec(
+        name="iii",
+        paper_id="ENSGT00550000073950.Euteleostomi.7.2",
+        n_species=25,
+        n_codons=67,
+        mean_branch_length=0.18,
+        seed=2012_03,
+    ),
+    "iv": DatasetSpec(
+        name="iv",
+        paper_id="ENSGT00530000063518.Primates.1.1",
+        n_species=95,
+        n_codons=39,
+        mean_branch_length=0.05,
+        seed=2012_04,
+    ),
+}
+
+
+def _choose_foreground(tree: Tree) -> None:
+    """Mark the longest internal branch as foreground.
+
+    A uniformly random branch can be near-zero length, in which case the
+    foreground process leaves no trace and H1 degenerates to H0; real
+    Selectome tests target lineages of interest, which have substance.
+    Deterministic given the tree, so dataset generation stays seeded.
+    """
+    internals = [n for n in tree.nodes if not n.is_root and not n.is_leaf]
+    candidates = internals if internals else [n for n in tree.nodes if not n.is_root]
+    tree.mark_foreground(max(candidates, key=lambda n: n.length))
+
+
+def _generate(spec: DatasetSpec) -> Dataset:
+    rng = make_rng(spec.seed)
+    tree = simulate_yule_tree(
+        spec.n_species,
+        seed=rng,
+        mean_branch_length=spec.mean_branch_length,
+        unrooted=True,
+    )
+    _choose_foreground(tree)
+    values = spec.true_values()
+    sim = simulate_alignment(
+        tree,
+        BranchSiteModelA(fix_omega2=False),
+        values,
+        n_codons=spec.n_codons,
+        seed=rng,
+    )
+    return Dataset(
+        spec=spec,
+        tree=tree,
+        alignment=sim.alignment,
+        true_values=values,
+        true_site_classes=sim.site_classes,
+    )
+
+
+def make_dataset(name: str) -> Dataset:
+    """Generate the Table II stand-in dataset ``"i"``/``"ii"``/``"iii"``/``"iv"``."""
+    try:
+        spec = TABLE2_SPECS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(TABLE2_SPECS)}"
+        ) from None
+    return _generate(spec)
+
+
+def species_sweep_dataset(n_species: int, seed: Optional[int] = None) -> Dataset:
+    """Dataset-iv family member with a custom species count (paper Fig. 3).
+
+    Figure 3 *subsamples* dataset iv from 95 down to 15 species; we do
+    the same — keep the first ``n_species`` taxa of the full dataset iv
+    (nested subsets, deterministic), prune the tree (path lengths
+    preserved), and subset the alignment rows.  If the foreground mark
+    fell inside the removed part, the longest surviving internal branch
+    is re-marked, mirroring how a smaller study would choose its test
+    branch.
+    """
+    from repro.trees.prune import prune_to_taxa
+
+    base_spec = TABLE2_SPECS["iv"]
+    if not 3 <= n_species <= base_spec.n_species:
+        raise ValueError(
+            f"n_species must be within [3, {base_spec.n_species}], got {n_species}"
+        )
+    full = make_dataset("iv") if seed is None else _generate(
+        DatasetSpec(
+            name="iv",
+            paper_id=base_spec.paper_id,
+            n_species=base_spec.n_species,
+            n_codons=base_spec.n_codons,
+            mean_branch_length=base_spec.mean_branch_length,
+            seed=seed,
+        )
+    )
+    keep = full.tree.leaf_names()[:n_species]
+    tree = prune_to_taxa(full.tree, keep)
+    if not tree.foreground_nodes():
+        _choose_foreground(tree)
+    elif len(tree.foreground_nodes()) > 1:
+        # Merged paths can OR multiple marks together; keep one.
+        tree.mark_foreground(tree.foreground_nodes()[0])
+    alignment = full.alignment.subset_taxa(keep)
+    spec = DatasetSpec(
+        name=f"iv-{n_species}sp",
+        paper_id=base_spec.paper_id,
+        n_species=n_species,
+        n_codons=base_spec.n_codons,
+        mean_branch_length=base_spec.mean_branch_length,
+        seed=base_spec.seed if seed is None else seed,
+    )
+    return Dataset(
+        spec=spec,
+        tree=tree,
+        alignment=alignment,
+        true_values=full.true_values,
+        true_site_classes=full.true_site_classes,
+    )

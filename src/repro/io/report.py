@@ -1,0 +1,124 @@
+"""Results report writer (CodeML ``mlc``-style).
+
+Formats a complete branch-site analysis — both hypotheses, the LRT, the
+site-class table of paper Table I with estimated values, the fitted tree
+and (when provided) the empirical-Bayes positively selected sites — as a
+plain-text report a PAML user would recognise.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.optimize.beb import SiteProbabilities
+from repro.optimize.ml import BranchSiteTest, FitResult
+from repro.trees.newick import write_newick
+from repro.trees.tree import Tree
+
+__all__ = ["format_report", "write_report", "format_fit_block"]
+
+PathLike = Union[str, os.PathLike]
+_RULE = "=" * 72
+
+
+def _class_table(fit: FitResult) -> str:
+    """Render Table I with the fitted proportions and omegas."""
+    values = fit.values
+    omega0 = values["omega0"]
+    omega2 = values.get("omega2", 1.0)
+    p0, p1 = values["p0"], values["p1"]
+    total = p0 + p1
+    rows = [
+        ("0", p0, omega0, omega0),
+        ("1", p1, 1.0, 1.0),
+        ("2a", (1 - total) * p0 / total if total > 0 else 0.0, omega0, omega2),
+        ("2b", (1 - total) * p1 / total if total > 0 else 0.0, 1.0, omega2),
+    ]
+    lines = ["site class   proportion   background w   foreground w"]
+    for label, prop, bg, fg in rows:
+        lines.append(f"{label:<12s} {prop:>10.5f}   {bg:>12.5f}   {fg:>12.5f}")
+    return "\n".join(lines)
+
+
+def format_fit_block(fit: FitResult, tree: Optional[Tree] = None) -> str:
+    """One hypothesis' results block."""
+    lines = [
+        f"Model: {fit.model_name}   engine: {fit.engine_name}",
+        f"lnL = {fit.lnl:.6f}",
+        f"optimizer: {fit.n_iterations} iterations, {fit.n_evaluations} evaluations, "
+        f"{fit.runtime_seconds:.2f} s"
+        + ("" if fit.converged else "  [NOT CONVERGED: " + fit.message + "]"),
+        "",
+        "Parameter estimates:",
+    ]
+    for key, value in fit.values.items():
+        lines.append(f"  {key:<8s} = {value:.6f}")
+    lines.append(f"  tree length = {float(np.sum(fit.branch_lengths)):.6f}")
+    lines.append("")
+    lines.append(_class_table(fit))
+    if tree is not None:
+        fitted = tree.copy()
+        fitted.set_branch_lengths(fit.branch_lengths)
+        lines.append("")
+        lines.append("Fitted tree (foreground marked #1):")
+        lines.append(write_newick(fitted))
+    return "\n".join(lines)
+
+
+def format_report(
+    test: BranchSiteTest,
+    tree: Optional[Tree] = None,
+    sites: Optional[SiteProbabilities] = None,
+    dataset_name: str = "",
+    threshold: float = 0.95,
+) -> str:
+    """Full analysis report: H0 block, H1 block, LRT, selected sites."""
+    header = "SlimCodeML reproduction — branch-site test for positive selection"
+    lines = [_RULE, header]
+    if dataset_name:
+        lines.append(f"dataset: {dataset_name}")
+    lines += [_RULE, "", "--- Null hypothesis (H0: omega2 = 1) " + "-" * 24, ""]
+    lines.append(format_fit_block(test.h0, tree))
+    lines += ["", "--- Alternative hypothesis (H1) " + "-" * 29, ""]
+    lines.append(format_fit_block(test.h1, tree))
+    lines += [
+        "",
+        "--- Likelihood ratio test " + "-" * 35,
+        "",
+        f"2*(lnL1 - lnL0) = {test.lrt.statistic:.6f}  (df = {test.lrt.df})",
+        f"p-value (chi2_1, conservative)   = {test.lrt.pvalue_chi2:.6g}",
+        f"p-value (50:50 boundary mixture) = {test.lrt.pvalue_mixture:.6g}",
+        (
+            "Positive selection on the foreground branch: "
+            + ("SUPPORTED" if test.lrt.significant() else "not supported")
+            + " at alpha = 0.05 (conservative chi2)"
+        ),
+    ]
+    if sites is not None:
+        lines += ["", f"--- {sites.method} positively selected sites " + "-" * 24, ""]
+        selected = sites.selected_sites(threshold)
+        if selected.size == 0:
+            lines.append(f"no sites with posterior > {threshold}")
+        else:
+            lines.append(f"codon sites with P(class 2a/2b) > {threshold}:")
+            for site in selected:
+                prob = sites.probabilities[site - 1]
+                stars = "**" if prob > 0.99 else "*"
+                lines.append(f"  {site:>6d}   {prob:.4f} {stars}")
+    lines += ["", _RULE]
+    return "\n".join(lines)
+
+
+def write_report(
+    destination: PathLike,
+    test: BranchSiteTest,
+    tree: Optional[Tree] = None,
+    sites: Optional[SiteProbabilities] = None,
+    dataset_name: str = "",
+) -> None:
+    """Write :func:`format_report` output to ``destination``."""
+    with open(destination, "w", encoding="utf-8") as handle:
+        handle.write(format_report(test, tree=tree, sites=sites, dataset_name=dataset_name) + "\n")

@@ -1,0 +1,146 @@
+"""Machine-readable (JSON) serialisation of analysis results.
+
+Genome-scale pipelines (Selectome-style) archive per-gene results for
+downstream aggregation; the ``mlc``-style text report is for humans.
+This module round-trips :class:`FitResult`, :class:`BranchSiteTest` and
+:class:`LRTResult` through plain JSON-compatible dicts with a schema
+version, so archives stay readable across library versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.optimize.lrt import LRTResult
+from repro.optimize.ml import BranchSiteTest, FitResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "fit_to_dict",
+    "fit_from_dict",
+    "branch_site_test_to_dict",
+    "branch_site_test_from_dict",
+    "write_json_result",
+    "read_json_result",
+]
+
+PathLike = Union[str, os.PathLike]
+
+#: Bump when the serialised layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def fit_to_dict(fit: FitResult) -> Dict:
+    """Serialise one fit (arrays become lists, floats stay exact via repr)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "fit",
+        "model": fit.model_name,
+        "engine": fit.engine_name,
+        "lnl": fit.lnl,
+        "values": dict(fit.values),
+        "branch_lengths": [float(t) for t in fit.branch_lengths],
+        "n_iterations": fit.n_iterations,
+        "n_evaluations": fit.n_evaluations,
+        "runtime_seconds": fit.runtime_seconds,
+        "converged": fit.converged,
+        "message": fit.message,
+    }
+
+
+def fit_from_dict(payload: Dict) -> FitResult:
+    """Inverse of :func:`fit_to_dict` (history is not archived)."""
+    _check(payload, "fit")
+    return FitResult(
+        model_name=payload["model"],
+        engine_name=payload["engine"],
+        lnl=float(payload["lnl"]),
+        values={k: float(v) for k, v in payload["values"].items()},
+        branch_lengths=np.asarray(payload["branch_lengths"], dtype=float),
+        n_iterations=int(payload["n_iterations"]),
+        n_evaluations=int(payload["n_evaluations"]),
+        runtime_seconds=float(payload["runtime_seconds"]),
+        converged=bool(payload["converged"]),
+        message=payload["message"],
+    )
+
+
+def _lrt_to_dict(lrt: LRTResult) -> Dict:
+    return {
+        "lnl_null": lrt.lnl_null,
+        "lnl_alternative": lrt.lnl_alternative,
+        "statistic": lrt.statistic,
+        "df": lrt.df,
+        "pvalue_chi2": lrt.pvalue_chi2,
+        "pvalue_mixture": lrt.pvalue_mixture,
+    }
+
+
+def _lrt_from_dict(payload: Dict) -> LRTResult:
+    return LRTResult(
+        lnl_null=float(payload["lnl_null"]),
+        lnl_alternative=float(payload["lnl_alternative"]),
+        statistic=float(payload["statistic"]),
+        df=int(payload["df"]),
+        pvalue_chi2=float(payload["pvalue_chi2"]),
+        pvalue_mixture=float(payload["pvalue_mixture"]),
+    )
+
+
+def branch_site_test_to_dict(test: BranchSiteTest) -> Dict:
+    """Serialise a full H0+H1 analysis."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "branch_site_test",
+        "h0": fit_to_dict(test.h0),
+        "h1": fit_to_dict(test.h1),
+        "lrt": _lrt_to_dict(test.lrt),
+    }
+
+
+def branch_site_test_from_dict(payload: Dict) -> BranchSiteTest:
+    """Inverse of :func:`branch_site_test_to_dict`."""
+    _check(payload, "branch_site_test")
+    return BranchSiteTest(
+        h0=fit_from_dict(payload["h0"]),
+        h1=fit_from_dict(payload["h1"]),
+        lrt=_lrt_from_dict(payload["lrt"]),
+    )
+
+
+def _check(payload: Dict, kind: str) -> None:
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {payload.get('schema')!r} "
+            f"(this library writes {SCHEMA_VERSION})"
+        )
+    if payload.get("kind") != kind:
+        raise ValueError(f"expected a {kind!r} payload, got {payload.get('kind')!r}")
+
+
+def write_json_result(
+    destination: PathLike, result: Union[FitResult, BranchSiteTest]
+) -> None:
+    """Write a fit or full test to a JSON file."""
+    payload = (
+        branch_site_test_to_dict(result) if isinstance(result, BranchSiteTest) else fit_to_dict(result)
+    )
+    with open(destination, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_json_result(source: PathLike) -> Union[FitResult, BranchSiteTest]:
+    """Read a JSON result, dispatching on its ``kind`` field."""
+    with open(source, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    if kind == "fit":
+        return fit_from_dict(payload)
+    if kind == "branch_site_test":
+        return branch_site_test_from_dict(payload)
+    raise ValueError(f"unknown result kind {kind!r}")

@@ -1,0 +1,76 @@
+"""Combining per-class pruning results into the mixture likelihood.
+
+For site patterns ``s`` with multiplicities ``w_s`` and site classes
+``m`` with proportions ``q_m`` (paper Table I):
+
+    lnL = Σ_s w_s · log Σ_m q_m · L_{s,m}
+
+where each ``L_{s,m}`` carries its own pruning scale factor, so the
+combination runs in log space via a weighted log-sum-exp.  The per-site,
+per-class likelihood matrix is also the input to the empirical Bayes
+site classification (:mod:`repro.optimize.beb`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.likelihood.pruning import PruningResult
+from repro.utils.numerics import logsumexp_weighted
+
+__all__ = ["site_class_log_likelihoods", "mixture_log_likelihood", "class_posteriors"]
+
+
+def site_class_log_likelihoods(
+    results: Sequence[PruningResult], pi: np.ndarray
+) -> np.ndarray:
+    """Stack per-class per-pattern log-likelihoods into ``(n_classes, n_patterns)``."""
+    if not results:
+        raise ValueError("no pruning results to combine")
+    return np.vstack([res.site_log_likelihoods(pi) for res in results])
+
+
+def mixture_log_likelihood(
+    results: Sequence[PruningResult],
+    pi: np.ndarray,
+    proportions: Sequence[float],
+    pattern_weights: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Total log-likelihood and the per-pattern site log-likelihoods.
+
+    Returns
+    -------
+    (float, numpy.ndarray)
+        ``(lnL, per_pattern_lnl)`` where ``lnL = pattern_weights · per_pattern_lnl``.
+    """
+    class_lnl = site_class_log_likelihoods(results, pi)
+    proportions = np.asarray(proportions, dtype=float)
+    if class_lnl.shape[0] != proportions.shape[0]:
+        raise ValueError(
+            f"{class_lnl.shape[0]} pruning results but {proportions.shape[0]} proportions"
+        )
+    per_pattern = logsumexp_weighted(class_lnl, proportions, axis=0)
+    pattern_weights = np.asarray(pattern_weights, dtype=float)
+    if pattern_weights.shape != per_pattern.shape:
+        raise ValueError("pattern weight shape mismatch")
+    return float(pattern_weights @ per_pattern), per_pattern
+
+
+def class_posteriors(
+    class_lnl: np.ndarray, proportions: Sequence[float]
+) -> np.ndarray:
+    """Posterior ``P(class m | site s)`` — naive empirical Bayes (NEB).
+
+    ``class_lnl`` is the ``(n_classes, n_patterns)`` matrix from
+    :func:`site_class_log_likelihoods` evaluated at the MLEs.
+    """
+    proportions = np.asarray(proportions, dtype=float)
+    log_joint = class_lnl + np.log(np.where(proportions > 0, proportions, 1.0))[:, None]
+    log_joint = np.where(proportions[:, None] > 0, log_joint, -np.inf)
+    log_total = logsumexp_weighted(class_lnl, proportions, axis=0)
+    with np.errstate(invalid="ignore"):
+        post = np.exp(log_joint - log_total[None, :])
+    post[~np.isfinite(post)] = 0.0
+    return post

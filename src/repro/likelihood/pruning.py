@@ -1,0 +1,154 @@
+"""Felsenstein's pruning algorithm over site patterns.
+
+A post-order pass propagates conditional probability vectors (CLVs) from
+the leaves to the root (paper Fig. 2): along each branch the child's CLV
+is transformed by the branch's transition operator, and at each internal
+node the incoming vectors are multiplied elementwise.  All patterns are
+carried together, so a CLV here is an ``(n_states, n_patterns)`` matrix.
+
+Numerical rescaling: with many branches the per-pattern CLV magnitudes
+underflow double precision, so whenever a completed node's column
+maximum drops below a threshold the column is renormalised and the log
+factor accumulated per pattern; the root likelihood re-applies the
+accumulated logs.  This is the standard CodeML/RAxML technique and is
+exercised directly by the 95-species dataset iv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
+
+__all__ = ["PruningResult", "build_leaf_clvs", "prune_site_class"]
+
+#: Rescale a completed node's pattern column when its max falls below this.
+SCALE_THRESHOLD = 1e-70
+
+#: A branch's transition operator handle, as produced by an engine.
+Operator = object
+#: Engine hook: (branch_length, is_foreground) → operator.
+TransitionFactory = Callable[[float, bool], Operator]
+#: Engine hook: (operator, child_clv) → propagated contribution.
+Propagator = Callable[[Operator, np.ndarray], np.ndarray]
+
+
+@dataclass
+class PruningResult:
+    """Root CLV and accumulated per-pattern log scale factors."""
+
+    root_clv: np.ndarray
+    log_scalers: np.ndarray
+
+    def site_log_likelihoods(self, pi: np.ndarray) -> np.ndarray:
+        """Per-pattern log-likelihood: ``log(π · clv_root) + scalers``.
+
+        Round-off can leave a tiny negative dot product for patterns
+        that are (numerically) impossible under the current parameters;
+        those map to ``-inf`` rather than NaN so the optimizer's barrier
+        logic keeps working.
+        """
+        site_l = pi @ self.root_clv
+        with np.errstate(divide="ignore", invalid="ignore"):
+            logs = np.where(site_l > 0.0, np.log(np.maximum(site_l, 1e-320)), -np.inf)
+        return logs + self.log_scalers
+
+
+def build_leaf_clvs(alignment: CodonAlignment) -> List[np.ndarray]:
+    """Dense leaf CLV matrices, one ``(n_states, n_patterns)`` per taxon row.
+
+    Exact states get an indicator column, missing cells all-ones, and
+    ambiguous cells the indicator of their compatible-state set.
+    """
+    n_states = alignment.code.n_states
+    clvs = []
+    for row in range(alignment.n_taxa):
+        clv = np.zeros((n_states, alignment.n_codons), order="F")
+        for col in range(alignment.n_codons):
+            state = int(alignment.states[row, col])
+            if state == MISSING:
+                clv[:, col] = 1.0
+            elif state == AMBIGUOUS:
+                clv[list(alignment.ambiguity_sets[(row, col)]), col] = 1.0
+            else:
+                clv[state, col] = 1.0
+        clvs.append(clv)
+    return clvs
+
+
+def prune_site_class(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    n_nodes: int,
+    leaf_clvs: Sequence[np.ndarray],
+    transition_factory: TransitionFactory,
+    propagate: Propagator,
+    scale_threshold: float = SCALE_THRESHOLD,
+) -> PruningResult:
+    """One post-order pruning pass for a single site class.
+
+    Parameters
+    ----------
+    branch_table:
+        Post-ordered ``(child_index, parent_index, length, foreground)``
+        rows from :meth:`repro.trees.tree.Tree.branch_table`.
+    n_nodes:
+        Total node count; the root is the node that appears only as a
+        parent.
+    leaf_clvs:
+        Leaf CLVs indexed by leaf node index (prefix of the node range).
+    transition_factory, propagate:
+        Engine kernels (see module type aliases).  ``propagate`` must
+        return a fresh array (it becomes, or is multiplied into, the
+        parent CLV).
+
+    Returns
+    -------
+    PruningResult
+    """
+    if not branch_table:
+        raise ValueError("cannot prune an empty branch table")
+    n_patterns = leaf_clvs[0].shape[1]
+
+    clvs: List[np.ndarray | None] = [None] * n_nodes
+    n_leaves = len(leaf_clvs)
+    for i in range(n_leaves):
+        clvs[i] = leaf_clvs[i]
+
+    pending_children = np.zeros(n_nodes, dtype=np.intp)
+    for _, parent, _, _ in branch_table:
+        pending_children[parent] += 1
+
+    log_scalers = np.zeros(n_patterns)
+    root_index = -1
+    for child, parent, t, foreground in branch_table:
+        child_clv = clvs[child]
+        if child_clv is None:
+            raise ValueError(f"branch table is not post-ordered: node {child} unset")
+        operator = transition_factory(t, foreground)
+        contribution = propagate(operator, child_clv)
+        if clvs[parent] is None:
+            clvs[parent] = contribution
+        else:
+            clvs[parent] *= contribution
+        pending_children[parent] -= 1
+        if pending_children[parent] == 0:
+            # Node complete: rescale underflowing pattern columns.
+            node_clv = clvs[parent]
+            col_max = node_clv.max(axis=0)
+            needs = col_max < scale_threshold
+            if needs.any():
+                safe = np.where(needs & (col_max > 0.0), col_max, 1.0)
+                node_clv /= safe[None, :]
+                with np.errstate(divide="ignore"):
+                    log_scalers += np.where(safe != 1.0, np.log(safe), 0.0)
+        root_index = parent
+
+    # The final completed parent of a post-ordered table is the root.
+    if pending_children.max() != 0:
+        raise ValueError("branch table did not complete every internal node")
+    root_clv = clvs[root_index]
+    assert root_clv is not None
+    return PruningResult(root_clv=root_clv, log_scalers=log_scalers)

@@ -1,0 +1,29 @@
+"""Codon model layer: site-class mixtures over branch categories.
+
+Every model here reduces to the same engine-facing description: a list
+of :class:`~repro.models.base.SiteClass` entries, each with a mixture
+proportion and an ω for the *background* and *foreground* branch
+categories (paper Table I).  The branch-site model A uses all four
+classes with distinct fore/background ω; the site models (M1a/M2a) and
+M0 are degenerate cases with identical ω on both categories.
+"""
+
+from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.branch import TwoRatioModel
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.models.parameters import IntervalTransform, PositiveTransform, Transform
+from repro.models.sites import M1aModel, M2aModel
+
+__all__ = [
+    "BranchSiteModelA",
+    "CodonSiteModel",
+    "IntervalTransform",
+    "M0Model",
+    "M1aModel",
+    "M2aModel",
+    "PositiveTransform",
+    "SiteClass",
+    "Transform",
+    "TwoRatioModel",
+]

@@ -1,0 +1,94 @@
+"""Branch models: lineage-specific ω without site heterogeneity.
+
+The *two-ratio* branch model (Yang 1998) is the historical precursor of
+the branch-site model: one ω for the foreground branch and one for the
+rest of the tree, applied to *every* site.  The branch-site model A
+(paper Table I) was introduced precisely because the branch model
+averages over sites and loses power when only a fraction of sites is
+selected; having both lets users run the classic comparison.
+
+In the engine-facing mixture interface this is a single
+:class:`~repro.models.base.SiteClass` with distinct background and
+foreground ω — the mirror image of the site models (many classes, equal
+ω across branch categories).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.parameters import PositiveTransform
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["TwoRatioModel"]
+
+_KAPPA = PositiveTransform(lower=0.0)
+_OMEGA = PositiveTransform(lower=0.0)
+
+
+class TwoRatioModel(CodonSiteModel):
+    """Two-ratio branch model: ``omega_background`` and ``omega_foreground``.
+
+    Parameters
+    ----------
+    fix_foreground:
+        When True, ``omega_foreground`` is fixed at 1 — the null of the
+        classic branch test (foreground neutral), leaving 2 free
+        parameters; otherwise 3.
+    """
+
+    requires_foreground = True
+
+    def __init__(self, fix_foreground: bool = False) -> None:
+        self.fix_foreground = bool(fix_foreground)
+        if self.fix_foreground:
+            self.param_names: Tuple[str, ...] = ("kappa", "omega_background")
+            self.name = "two-ratio branch model (foreground omega = 1)"
+        else:
+            self.param_names = ("kappa", "omega_background", "omega_foreground")
+            self.name = "two-ratio branch model"
+
+    def pack(self, values: Dict[str, float]) -> np.ndarray:
+        values = self.validate(values)
+        packed = [
+            _KAPPA.to_unconstrained(values["kappa"]),
+            _OMEGA.to_unconstrained(values["omega_background"]),
+        ]
+        if not self.fix_foreground:
+            packed.append(_OMEGA.to_unconstrained(values["omega_foreground"]))
+        return np.array(packed)
+
+    def unpack(self, x: Sequence[float]) -> Dict[str, float]:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_params,):
+            raise ValueError(
+                f"{self.name}: expected {self.n_params} values, got shape {x.shape}"
+            )
+        values = {
+            "kappa": _KAPPA.to_constrained(x[0]),
+            "omega_background": _OMEGA.to_constrained(x[1]),
+        }
+        if not self.fix_foreground:
+            values["omega_foreground"] = _OMEGA.to_constrained(x[2])
+        return values
+
+    def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
+        values = self.validate(values)
+        omega_fg = 1.0 if self.fix_foreground else values["omega_foreground"]
+        return [SiteClass("0", 1.0, values["omega_background"], omega_fg)]
+
+    def default_start(self, rng: RngLike = None) -> Dict[str, float]:
+        start = {"kappa": 2.0, "omega_background": 0.3}
+        if not self.fix_foreground:
+            start["omega_foreground"] = 1.5
+        if rng is not None:
+            gen = make_rng(rng)
+            start = {k: float(v * np.exp(gen.uniform(-0.1, 0.1))) for k, v in start.items()}
+        return start
+
+    def null_model(self) -> "TwoRatioModel":
+        """The matching foreground-neutral null."""
+        return TwoRatioModel(fix_foreground=True)

@@ -1,0 +1,149 @@
+"""Branch-site model A — the model the whole paper is about.
+
+Table I of the paper: four site classes over a background/foreground
+branch dichotomy::
+
+    class   proportion                  background   foreground
+    0       p0                          ω0 ∈ (0,1)   ω0
+    1       p1                          ω1 = 1       ω1 = 1
+    2a      (1-p0-p1)·p0/(p0+p1)        ω0           ω2 > 1   (H1) / = 1 (H0)
+    2b      (1-p0-p1)·p1/(p0+p1)        ω1 = 1       ω2       (H1) / = 1 (H0)
+
+The alternative hypothesis H1 estimates ``ω2 ≥ 1``; the null H0 is the
+same model with ``ω2 = 1`` fixed (Zhang, Nielsen & Yang 2005).  The LRT
+compares them with one degree of freedom.
+
+Free parameters: ``kappa, omega0, p0, p1`` (+ ``omega2`` under H1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.parameters import (
+    IntervalTransform,
+    PositiveTransform,
+    simplex_pack,
+    simplex_unpack,
+)
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["BranchSiteModelA"]
+
+_KAPPA = PositiveTransform(lower=0.0)
+_OMEGA0 = IntervalTransform(0.0, 1.0)
+# ω2 ≥ 1 with slack: H1 estimates it above 1 (PAML constrains ω2 ≥ 1).
+_OMEGA2 = PositiveTransform(lower=1.0)
+
+
+class BranchSiteModelA(CodonSiteModel):
+    """Branch-site model A, either hypothesis.
+
+    Parameters
+    ----------
+    fix_omega2:
+        ``True`` builds the null H0 (``ω2 = 1`` fixed, 4 free
+        parameters); ``False`` the alternative H1 (5 free parameters).
+    """
+
+    requires_foreground = True
+
+    def __init__(self, fix_omega2: bool = False) -> None:
+        self.fix_omega2 = bool(fix_omega2)
+        if self.fix_omega2:
+            self.param_names: Tuple[str, ...] = ("kappa", "omega0", "p0", "p1")
+            self.name = "branch-site model A (H0, omega2=1)"
+        else:
+            self.param_names = ("kappa", "omega0", "omega2", "p0", "p1")
+            self.name = "branch-site model A (H1)"
+
+    @property
+    def hypothesis(self) -> str:
+        return "H0" if self.fix_omega2 else "H1"
+
+    # ------------------------------------------------------------------
+    def pack(self, values: Dict[str, float]) -> np.ndarray:
+        values = self.validate(values)
+        x_total, x_split = simplex_pack(values["p0"], values["p1"])
+        packed = [
+            _KAPPA.to_unconstrained(values["kappa"]),
+            _OMEGA0.to_unconstrained(values["omega0"]),
+            x_total,
+            x_split,
+        ]
+        if not self.fix_omega2:
+            packed.insert(2, _OMEGA2.to_unconstrained(values["omega2"]))
+        return np.array(packed)
+
+    def unpack(self, x: Sequence[float]) -> Dict[str, float]:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_params,):
+            raise ValueError(f"{self.name}: expected {self.n_params} values, got shape {x.shape}")
+        if self.fix_omega2:
+            kappa_x, omega0_x, total_x, split_x = x
+            omega2 = 1.0
+        else:
+            kappa_x, omega0_x, omega2_x, total_x, split_x = x
+            omega2 = _OMEGA2.to_constrained(omega2_x)
+        p0, p1 = simplex_unpack(total_x, split_x)
+        values = {
+            "kappa": _KAPPA.to_constrained(kappa_x),
+            "omega0": _OMEGA0.to_constrained(omega0_x),
+            "p0": p0,
+            "p1": p1,
+        }
+        if not self.fix_omega2:
+            values["omega2"] = omega2
+        return values
+
+    # ------------------------------------------------------------------
+    def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
+        values = self.validate(values)
+        omega0 = values["omega0"]
+        omega2 = 1.0 if self.fix_omega2 else values["omega2"]
+        p0, p1 = values["p0"], values["p1"]
+        total = p0 + p1
+        if not 0.0 < total < 1.0:
+            raise ValueError(f"p0 + p1 = {total} must lie in (0, 1)")
+        p2 = 1.0 - total
+        return [
+            SiteClass("0", p0, omega0, omega0),
+            SiteClass("1", p1, 1.0, 1.0),
+            SiteClass("2a", p2 * p0 / total, omega0, omega2),
+            SiteClass("2b", p2 * p1 / total, 1.0, omega2),
+        ]
+
+    def default_start(self, rng: RngLike = None) -> Dict[str, float]:
+        """CodeML-style start point with optional seeded jitter.
+
+        With a generator supplied, values are perturbed multiplicatively
+        by ~10 % — the role the fixed RNG seed plays in the paper's
+        experimental setup.
+        """
+        start = {"kappa": 2.0, "omega0": 0.5, "p0": 0.55, "p1": 0.3}
+        if not self.fix_omega2:
+            start["omega2"] = 2.0
+        if rng is not None:
+            gen = make_rng(rng)
+            jitter = lambda v: float(v * np.exp(gen.uniform(-0.1, 0.1)))  # noqa: E731
+            start["kappa"] = jitter(start["kappa"])
+            start["omega0"] = min(0.95, jitter(start["omega0"]))
+            if not self.fix_omega2:
+                start["omega2"] = max(1.05, jitter(start["omega2"]))
+            p0, p1 = jitter(start["p0"]), jitter(start["p1"])
+            scale = min(0.95 / (p0 + p1), 1.0)
+            start["p0"], start["p1"] = p0 * scale, p1 * scale
+        return start
+
+    # ------------------------------------------------------------------
+    def null_model(self) -> "BranchSiteModelA":
+        """The matching H0 for an H1 instance (idempotent)."""
+        return BranchSiteModelA(fix_omega2=True)
+
+    def to_null_values(self, values: Dict[str, float]) -> Dict[str, float]:
+        """Project H1 parameter values onto the H0 parameter set."""
+        values = self.validate(values)
+        return {k: values[k] for k in ("kappa", "omega0", "p0", "p1")}

@@ -1,0 +1,59 @@
+"""M0 — the one-ratio model (Goldman & Yang 1994).
+
+A single ω for all sites and branches.  Not a paper deliverable by
+itself, but the workhorse substrate: CodeML fits M0 first to obtain
+branch lengths and κ start values for the expensive branch-site fits,
+and our pipeline does the same (see :func:`repro.optimize.ml.fit_model`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.parameters import PositiveTransform
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["M0Model"]
+
+_KAPPA = PositiveTransform(lower=0.0)
+_OMEGA = PositiveTransform(lower=0.0)
+
+
+class M0Model(CodonSiteModel):
+    """One-ratio model: free parameters ``kappa`` and ``omega``."""
+
+    param_names: Tuple[str, ...] = ("kappa", "omega")
+    name = "M0 (one-ratio)"
+
+    def pack(self, values: Dict[str, float]) -> np.ndarray:
+        values = self.validate(values)
+        return np.array(
+            [
+                _KAPPA.to_unconstrained(values["kappa"]),
+                _OMEGA.to_unconstrained(values["omega"]),
+            ]
+        )
+
+    def unpack(self, x: Sequence[float]) -> Dict[str, float]:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (2,):
+            raise ValueError(f"M0 expects 2 values, got shape {x.shape}")
+        return {
+            "kappa": _KAPPA.to_constrained(x[0]),
+            "omega": _OMEGA.to_constrained(x[1]),
+        }
+
+    def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
+        values = self.validate(values)
+        omega = values["omega"]
+        return [SiteClass("0", 1.0, omega, omega)]
+
+    def default_start(self, rng: RngLike = None) -> Dict[str, float]:
+        start = {"kappa": 2.0, "omega": 0.4}
+        if rng is not None:
+            gen = make_rng(rng)
+            start = {k: float(v * np.exp(gen.uniform(-0.1, 0.1))) for k, v in start.items()}
+        return start

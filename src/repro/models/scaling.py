@@ -1,0 +1,77 @@
+"""Shared rate normalisation across site classes.
+
+For mixture models a branch length must mean the same thing in every
+site class, so CodeML divides *all* class rate matrices by one common
+factor instead of normalising each to unit mean rate.  We define that
+factor as the class-proportion-weighted mean of the raw (unscaled) mean
+rates of the **background** processes — background branches are every
+branch but one, so this makes ``t`` ≈ expected substitutions per codon
+on background branches, with the foreground branch evolving faster when
+ω2 > 1.
+
+Both the likelihood engines and the sequence simulator go through
+:func:`build_class_matrices`, so simulated data and inference agree on
+what a branch length is.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.codon.genetic_code import GeneticCode, UNIVERSAL
+from repro.codon.matrix import CodonRateMatrix, build_rate_matrix, mean_rate
+from repro.models.base import SiteClass
+
+__all__ = ["mixture_scale", "build_class_matrices"]
+
+
+def _raw_rate(kappa: float, omega: float, pi: np.ndarray, code: GeneticCode) -> float:
+    """Mean rate of the unscaled Q(κ, ω)."""
+    raw = build_rate_matrix(kappa, omega, pi, code=code, scale="none")
+    return mean_rate(raw.q, pi)
+
+
+def mixture_scale(
+    kappa: float,
+    classes: Sequence[SiteClass],
+    pi: np.ndarray,
+    code: GeneticCode = UNIVERSAL,
+) -> float:
+    """Common normalisation factor for a site-class mixture (see module doc)."""
+    factor = 0.0
+    rate_cache: Dict[float, float] = {}
+    for cls in classes:
+        omega = cls.omega_background
+        if omega not in rate_cache:
+            rate_cache[omega] = _raw_rate(kappa, omega, pi, code)
+        factor += cls.proportion * rate_cache[omega]
+    if factor <= 0:
+        raise ValueError("mixture mean rate must be positive")
+    return factor
+
+
+def build_class_matrices(
+    kappa: float,
+    classes: Sequence[SiteClass],
+    pi: np.ndarray,
+    code: GeneticCode = UNIVERSAL,
+) -> Dict[float, CodonRateMatrix]:
+    """Build one commonly-scaled rate matrix per distinct ω in the mixture.
+
+    Returns a dict keyed by ω value (both branch categories pooled); the
+    branch-site model yields at most three entries however large the
+    tree, which is what bounds the per-evaluation eigendecomposition
+    count (§II-C1).
+    """
+    factor = mixture_scale(kappa, classes, pi, code)
+    omegas: List[float] = []
+    for cls in classes:
+        for omega in (cls.omega_background, cls.omega_foreground):
+            if omega not in omegas:
+                omegas.append(omega)
+    return {
+        omega: build_rate_matrix(kappa, omega, pi, code=code, scale=factor)
+        for omega in omegas
+    }

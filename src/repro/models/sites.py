@@ -1,0 +1,132 @@
+"""Site models M1a (nearly neutral) and M2a (positive selection).
+
+These are the site-heterogeneous models of Yang et al.; they share all
+machinery with the branch-site model (same mixture interface, same
+engines) but apply the same ω on every branch — the degenerate case
+where the foreground category equals the background.  Implemented as
+the paper's §V-B extension ("the optimized likelihood computation can
+also be applied to further maximum likelihood-based evolutionary
+models"); the M1a/M2a LRT is the classic sites test for positive
+selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.parameters import (
+    IntervalTransform,
+    PositiveTransform,
+    simplex_pack,
+    simplex_unpack,
+)
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["M1aModel", "M2aModel"]
+
+_KAPPA = PositiveTransform(lower=0.0)
+_OMEGA0 = IntervalTransform(0.0, 1.0)
+_OMEGA2 = PositiveTransform(lower=1.0)
+_UNIT = IntervalTransform(0.0, 1.0)
+
+
+class M1aModel(CodonSiteModel):
+    """M1a: two classes, conserved (ω0 < 1, proportion p0) and neutral (ω = 1)."""
+
+    param_names: Tuple[str, ...] = ("kappa", "omega0", "p0")
+    name = "M1a (nearly neutral)"
+
+    def pack(self, values: Dict[str, float]) -> np.ndarray:
+        values = self.validate(values)
+        return np.array(
+            [
+                _KAPPA.to_unconstrained(values["kappa"]),
+                _OMEGA0.to_unconstrained(values["omega0"]),
+                _UNIT.to_unconstrained(values["p0"]),
+            ]
+        )
+
+    def unpack(self, x: Sequence[float]) -> Dict[str, float]:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (3,):
+            raise ValueError(f"M1a expects 3 values, got shape {x.shape}")
+        return {
+            "kappa": _KAPPA.to_constrained(x[0]),
+            "omega0": _OMEGA0.to_constrained(x[1]),
+            "p0": _UNIT.to_constrained(x[2]),
+        }
+
+    def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
+        values = self.validate(values)
+        omega0, p0 = values["omega0"], values["p0"]
+        return [
+            SiteClass("0", p0, omega0, omega0),
+            SiteClass("1", 1.0 - p0, 1.0, 1.0),
+        ]
+
+    def default_start(self, rng: RngLike = None) -> Dict[str, float]:
+        start = {"kappa": 2.0, "omega0": 0.5, "p0": 0.7}
+        if rng is not None:
+            gen = make_rng(rng)
+            start["kappa"] = float(start["kappa"] * np.exp(gen.uniform(-0.1, 0.1)))
+            start["omega0"] = float(min(0.95, start["omega0"] * np.exp(gen.uniform(-0.1, 0.1))))
+            start["p0"] = float(min(0.95, start["p0"] * np.exp(gen.uniform(-0.1, 0.1))))
+        return start
+
+
+class M2aModel(CodonSiteModel):
+    """M2a: M1a plus a positively selected class (ω2 > 1)."""
+
+    param_names: Tuple[str, ...] = ("kappa", "omega0", "omega2", "p0", "p1")
+    name = "M2a (positive selection)"
+
+    def pack(self, values: Dict[str, float]) -> np.ndarray:
+        values = self.validate(values)
+        x_total, x_split = simplex_pack(values["p0"], values["p1"])
+        return np.array(
+            [
+                _KAPPA.to_unconstrained(values["kappa"]),
+                _OMEGA0.to_unconstrained(values["omega0"]),
+                _OMEGA2.to_unconstrained(values["omega2"]),
+                x_total,
+                x_split,
+            ]
+        )
+
+    def unpack(self, x: Sequence[float]) -> Dict[str, float]:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (5,):
+            raise ValueError(f"M2a expects 5 values, got shape {x.shape}")
+        p0, p1 = simplex_unpack(x[3], x[4])
+        return {
+            "kappa": _KAPPA.to_constrained(x[0]),
+            "omega0": _OMEGA0.to_constrained(x[1]),
+            "omega2": _OMEGA2.to_constrained(x[2]),
+            "p0": p0,
+            "p1": p1,
+        }
+
+    def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
+        values = self.validate(values)
+        omega0, omega2 = values["omega0"], values["omega2"]
+        p0, p1 = values["p0"], values["p1"]
+        p2 = 1.0 - p0 - p1
+        if p2 < 0:
+            raise ValueError(f"p0 + p1 = {p0 + p1} exceeds 1")
+        return [
+            SiteClass("0", p0, omega0, omega0),
+            SiteClass("1", p1, 1.0, 1.0),
+            SiteClass("2", p2, omega2, omega2),
+        ]
+
+    def default_start(self, rng: RngLike = None) -> Dict[str, float]:
+        start = {"kappa": 2.0, "omega0": 0.5, "omega2": 2.5, "p0": 0.6, "p1": 0.3}
+        if rng is not None:
+            gen = make_rng(rng)
+            start["kappa"] = float(start["kappa"] * np.exp(gen.uniform(-0.1, 0.1)))
+            start["omega0"] = float(min(0.95, start["omega0"] * np.exp(gen.uniform(-0.1, 0.1))))
+            start["omega2"] = float(max(1.05, start["omega2"] * np.exp(gen.uniform(-0.1, 0.1))))
+        return start

@@ -1,0 +1,64 @@
+"""Likelihood ratio test for positive selection.
+
+The branch-site test compares H1 (ω2 free, ≥ 1) against H0 (ω2 = 1)
+with ``2Δ = 2(lnL₁ − lnL₀)``.  Because ω2 = 1 sits on the boundary of
+the H1 parameter space, the asymptotic null is the 50:50 mixture of a
+point mass at 0 and χ²₁ (Self & Liang); PAML's manual recommends the
+plain χ²₁ as a conservative test.  Both p-values are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import scipy.stats
+
+__all__ = ["LRTResult", "likelihood_ratio_test"]
+
+
+@dataclass(frozen=True)
+class LRTResult:
+    """Outcome of a likelihood ratio test."""
+
+    lnl_null: float
+    lnl_alternative: float
+    statistic: float
+    df: int
+    #: Conservative χ²_df p-value (PAML's recommendation).
+    pvalue_chi2: float
+    #: Boundary-corrected 50:50 mixture p-value (½·χ²_df tail).
+    pvalue_mixture: float
+
+    def significant(self, alpha: float = 0.05, conservative: bool = True) -> bool:
+        """Significance at level ``alpha`` (conservative χ² by default)."""
+        p = self.pvalue_chi2 if conservative else self.pvalue_mixture
+        return p < alpha
+
+
+def likelihood_ratio_test(lnl_null: float, lnl_alternative: float, df: int = 1) -> LRTResult:
+    """Build an :class:`LRTResult` from the two fitted log-likelihoods.
+
+    A slightly *negative* statistic (alternative below null) can occur
+    when the optimizer stops early; it is clamped to zero — the standard
+    practical convention — since H0 ⊂ H1 guarantees the true maximised
+    difference is non-negative.
+    """
+    if df < 1:
+        raise ValueError(f"df must be ≥ 1, got {df}")
+    statistic = 2.0 * (lnl_alternative - lnl_null)
+    clamped = max(statistic, 0.0)
+    tail = float(scipy.stats.chi2.sf(clamped, df))
+    if clamped == 0.0:
+        pvalue_chi2 = 1.0
+        pvalue_mixture = 1.0
+    else:
+        pvalue_chi2 = tail
+        pvalue_mixture = 0.5 * tail
+    return LRTResult(
+        lnl_null=float(lnl_null),
+        lnl_alternative=float(lnl_alternative),
+        statistic=clamped,
+        df=df,
+        pvalue_chi2=pvalue_chi2,
+        pvalue_mixture=pvalue_mixture,
+    )

@@ -1,0 +1,12 @@
+"""Parallel batch drivers — the first step toward "FastCodeML".
+
+The paper's future work (§V-B) is a parallel and distributed CodeML.
+Genome-scale positive-selection scans (Selectome) are embarrassingly
+parallel across genes and across candidate foreground branches; this
+subpackage provides process-pool drivers for both axes with
+deterministic per-task seeding.
+"""
+
+from repro.parallel.batch import BranchScanResult, GeneJob, analyze_genes, scan_branches
+
+__all__ = ["BranchScanResult", "GeneJob", "analyze_genes", "scan_branches"]

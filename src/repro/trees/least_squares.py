@@ -1,0 +1,98 @@
+"""Ordinary-least-squares branch lengths on a fixed topology.
+
+Given a matrix of pairwise distances (here: NG86 total divergences from
+:mod:`repro.alignment.distances`), the branch lengths minimising
+``Σ (path_length(a,b) − d(a,b))²`` solve a linear least-squares problem
+over the leaf-pair × branch incidence matrix.  This is the classical
+Fitch–Margoliash/OLS construction; CodeML uses pairwise distances the
+same way to seed its optimiser, and :func:`repro.optimize.ml.fit_model`
+accepts the result as a data-driven start (``start_lengths="ng86"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trees.tree import Tree
+
+__all__ = ["branch_incidence_matrix", "least_squares_branch_lengths"]
+
+
+def branch_incidence_matrix(tree: Tree) -> np.ndarray:
+    """0/1 matrix: rows = leaf pairs (i<j by leaf index), cols = branches.
+
+    Entry (pair, branch) is 1 when the branch lies on the path between
+    the pair's two leaves.  Branch columns follow the
+    :meth:`Tree.branch_lengths` ordering (non-root nodes by index).
+    """
+    leaves = tree.leaves
+    n_leaves = len(leaves)
+    non_root = [node for node in tree.nodes if not node.is_root]
+    col_of = {node.index: c for c, node in enumerate(non_root)}
+
+    # Leaf sets under each branch (child side); a branch is on the i-j
+    # path iff it separates i from j.
+    below: Dict[int, frozenset] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            below[node.index] = frozenset([node.index])
+        else:
+            below[node.index] = frozenset().union(*(below[c.index] for c in node.children))
+
+    n_pairs = n_leaves * (n_leaves - 1) // 2
+    a = np.zeros((n_pairs, len(non_root)))
+    row = 0
+    for i in range(n_leaves):
+        for j in range(i + 1, n_leaves):
+            for node in non_root:
+                side = below[node.index]
+                if (leaves[i].index in side) != (leaves[j].index in side):
+                    a[row, col_of[node.index]] = 1.0
+            row += 1
+    return a
+
+
+def least_squares_branch_lengths(
+    tree: Tree,
+    distances: np.ndarray,
+    min_length: float = 1e-6,
+    incidence: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """OLS branch lengths fitting the pairwise ``distances``.
+
+    Parameters
+    ----------
+    tree:
+        Topology; only its structure is used.
+    distances:
+        Symmetric ``(n_leaves, n_leaves)`` matrix ordered like
+        ``tree.leaves``.
+    min_length:
+        Solutions are clipped below at this value — OLS can go slightly
+        negative on noisy distances, and downstream code requires
+        non-negative lengths.
+    incidence:
+        Precomputed :func:`branch_incidence_matrix` (recomputed when
+        omitted).
+
+    Returns
+    -------
+    numpy.ndarray
+        Branch lengths in :meth:`Tree.branch_lengths` order.
+    """
+    n_leaves = tree.n_leaves
+    distances = np.asarray(distances, dtype=float)
+    if distances.shape != (n_leaves, n_leaves):
+        raise ValueError(
+            f"distance matrix shape {distances.shape} does not match {n_leaves} leaves"
+        )
+    if not np.allclose(distances, distances.T, atol=1e-9):
+        raise ValueError("distance matrix must be symmetric")
+    a = incidence if incidence is not None else branch_incidence_matrix(tree)
+    d = np.array(
+        [distances[i, j] for i in range(n_leaves) for j in range(i + 1, n_leaves)]
+    )
+    solution, *_ = np.linalg.lstsq(a, d, rcond=None)
+    return np.maximum(solution, min_length)

@@ -1,0 +1,196 @@
+"""Newick parsing and writing with PAML branch/clade labels.
+
+CodeML identifies the branch to test with a ``#1`` suffix in the Newick
+string (paper Fig. 1), e.g. ``((A,B) #1, C);``; a ``$1`` suffix marks an
+entire clade (every branch inside it, plus its stem).  Both are parsed
+here; the writer emits ``#1`` on foreground branches so parse→write is a
+round trip.
+
+Grammar (tolerant of whitespace and ``[...]`` comments)::
+
+    tree    := subtree ";"
+    subtree := leaf | "(" subtree ("," subtree)+ ")" [name]
+    suffix  := [name] [":" length] ["#" int | "$" int]
+
+Quoted labels (``'...'``) are supported; underscores inside unquoted
+labels are kept verbatim (no space conversion).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.trees.tree import Node, Tree
+
+__all__ = ["parse_newick", "write_newick", "NewickError"]
+
+
+class NewickError(ValueError):
+    """Raised on malformed Newick input, with position information."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at character {position})")
+        self.position = position
+
+
+class _Tokenizer:
+    """Character cursor over a Newick string, skipping comments/whitespace."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _skip_irrelevant(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch == "[":
+                end = self.text.find("]", self.pos)
+                if end == -1:
+                    raise NewickError("unterminated [comment]", self.pos)
+                self.pos = end + 1
+            else:
+                return
+
+    def peek(self) -> str:
+        self._skip_irrelevant()
+        if self.pos >= len(self.text):
+            raise NewickError("unexpected end of input", self.pos)
+        return self.text[self.pos]
+
+    def at_end(self) -> bool:
+        self._skip_irrelevant()
+        return self.pos >= len(self.text)
+
+    def take(self, expected: str) -> None:
+        ch = self.peek()
+        if ch != expected:
+            raise NewickError(f"expected {expected!r}, found {ch!r}", self.pos)
+        self.pos += 1
+
+    def read_label(self) -> str:
+        self._skip_irrelevant()
+        if self.pos < len(self.text) and self.text[self.pos] == "'":
+            end = self.text.find("'", self.pos + 1)
+            if end == -1:
+                raise NewickError("unterminated quoted label", self.pos)
+            label = self.text[self.pos + 1 : end]
+            self.pos = end + 1
+            return label
+        start = self.pos
+        stop_chars = set("():,;#$[]'")
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in stop_chars or ch.isspace():
+                break
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_number(self) -> float:
+        self._skip_irrelevant()
+        start = self.pos
+        allowed = set("0123456789+-.eE")
+        while self.pos < len(self.text) and self.text[self.pos] in allowed:
+            self.pos += 1
+        token = self.text[start:self.pos]
+        try:
+            return float(token)
+        except ValueError:
+            raise NewickError(f"invalid number {token!r}", start) from None
+
+    def read_int(self) -> int:
+        self._skip_irrelevant()
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        token = self.text[start:self.pos]
+        if not token:
+            raise NewickError("expected an integer label", start)
+        return int(token)
+
+
+def _parse_subtree(tok: _Tokenizer, clade_marks: List[Node]) -> Node:
+    if tok.peek() == "(":
+        tok.take("(")
+        node = Node()
+        node.add_child(_parse_subtree(tok, clade_marks))
+        while tok.peek() == ",":
+            tok.take(",")
+            node.add_child(_parse_subtree(tok, clade_marks))
+        tok.take(")")
+        node.name = tok.read_label()
+    else:
+        name = tok.read_label()
+        if not name:
+            raise NewickError("expected a taxon label", tok.pos)
+        node = Node(name=name)
+    # Suffix items — ":length" and "#k"/"$k" marks — in either order,
+    # since PAML writes both "(A,B)#1:0.1" and "(A,B):0.1 #1".
+    seen_length = seen_mark = False
+    while not tok.at_end() and tok.peek() in ":#$":
+        item = tok.peek()
+        if item == ":":
+            if seen_length:
+                raise NewickError("duplicate branch length", tok.pos)
+            seen_length = True
+            tok.take(":")
+            node.length = tok.read_number()
+            if node.length < 0:
+                raise NewickError(f"negative branch length {node.length}", tok.pos)
+        else:
+            if seen_mark:
+                raise NewickError("duplicate branch mark", tok.pos)
+            seen_mark = True
+            tok.take(item)
+            label = tok.read_int()
+            if label > 0:
+                if item == "#":
+                    node.foreground = True
+                else:
+                    clade_marks.append(node)
+    return node
+
+
+def parse_newick(text: str) -> Tree:
+    """Parse a Newick string (PAML ``#``/``$`` labels understood) into a Tree.
+
+    ``$k`` clade marks are expanded to foreground marks on the stem
+    branch and every branch within the clade, matching PAML semantics.
+    """
+    tok = _Tokenizer(text)
+    clade_marks: List[Node] = []
+    root = _parse_subtree(tok, clade_marks)
+    if tok.at_end():
+        raise NewickError("missing terminating ';'", tok.pos)
+    tok.take(";")
+    if not tok.at_end():
+        raise NewickError("trailing characters after ';'", tok.pos)
+    for clade_root in clade_marks:
+        for node in clade_root.postorder():
+            node.foreground = True
+    tree = Tree(root)
+    tree.root.foreground = False  # the root owns no branch
+    return tree
+
+
+def _format_length(length: float) -> str:
+    return f"{length:.6g}"
+
+
+def _write_subtree(node: Node, *, lengths: bool, marks: bool) -> str:
+    if node.is_leaf:
+        out = node.name
+    else:
+        inner = ",".join(_write_subtree(c, lengths=lengths, marks=marks) for c in node.children)
+        out = f"({inner}){node.name}"
+    if lengths and node.parent is not None:
+        out += f":{_format_length(node.length)}"
+    if marks and node.foreground and node.parent is not None:
+        out += " #1"
+    return out
+
+
+def write_newick(tree: Tree, *, lengths: bool = True, marks: bool = True) -> str:
+    """Serialise a tree to Newick, optionally with lengths and ``#1`` marks."""
+    return _write_subtree(tree.root, lengths=lengths, marks=marks) + ";"

@@ -1,0 +1,74 @@
+"""Pruning a tree down to a taxon subset.
+
+Figure 3 of the paper subsamples dataset iv from 95 down to 15 species
+and re-runs the analysis at every size.  Restricting a tree to a taxon
+subset requires removing the other leaves, then *suppressing* the
+resulting unifurcate nodes (merging their two incident branches, summing
+lengths and OR-ing foreground marks) so the tree stays strictly binary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.trees.tree import Node, Tree
+
+__all__ = ["prune_to_taxa"]
+
+
+def prune_to_taxa(tree: Tree, keep: Sequence[str]) -> Tree:
+    """Return a new tree restricted to the taxa in ``keep``.
+
+    Branch lengths along suppressed paths are summed, so patristic
+    distances between kept taxa are preserved exactly.  A foreground
+    mark anywhere on a merged path marks the merged branch.  The root is
+    collapsed to the standard trifurcation when the restriction leaves
+    it with two children (and at least three taxa remain).
+
+    Raises
+    ------
+    ValueError
+        If ``keep`` contains unknown or duplicate names, or fewer than
+        two taxa.
+    """
+    keep_list = list(keep)
+    if len(set(keep_list)) != len(keep_list):
+        raise ValueError("duplicate taxa in keep list")
+    known = set(tree.leaf_names())
+    missing = [name for name in keep_list if name not in known]
+    if missing:
+        raise ValueError(f"taxa not in tree: {missing}")
+    if len(keep_list) < 2:
+        raise ValueError("need at least two taxa to keep")
+    keep_set = set(keep_list)
+
+    def rebuild(node: Node) -> Node | None:
+        """Copy the subtree containing kept taxa; None when empty."""
+        if node.is_leaf:
+            if node.name not in keep_set:
+                return None
+            return Node(name=node.name, length=node.length, foreground=node.foreground)
+        surviving = [child for child in map(rebuild, node.children) if child is not None]
+        if not surviving:
+            return None
+        if len(surviving) == 1:
+            # Unifurcation: merge this node's branch into the child's.
+            child = surviving[0]
+            child.length += node.length
+            child.foreground = child.foreground or node.foreground
+            return child
+        fresh = Node(name=node.name, length=node.length, foreground=node.foreground)
+        for child in surviving:
+            fresh.add_child(child)
+        return fresh
+
+    new_root = rebuild(tree.root)
+    if new_root is None or new_root.is_leaf:
+        raise ValueError("pruning removed the entire tree structure")
+    new_root.length = 0.0
+    new_root.foreground = False
+    new_root.parent = None
+    pruned = Tree(new_root)
+    if len(pruned.root.children) == 2 and pruned.n_leaves >= 3:
+        pruned.unroot()
+    return pruned

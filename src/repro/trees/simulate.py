@@ -1,0 +1,94 @@
+"""Random phylogenies for the synthetic evaluation datasets.
+
+The paper's Table II datasets come with Ensembl gene trees we do not
+have; runtime behaviour depends only on the tree's *size* (number of
+branches) and branch-length scale, so we substitute Yule (pure-birth)
+trees with exponentially distributed branch lengths — the standard
+null model for species trees — and mark a random internal branch as
+foreground, mimicking a Selectome per-branch test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.trees.tree import Node, Tree
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["simulate_yule_tree", "random_foreground"]
+
+
+def simulate_yule_tree(
+    n_species: int,
+    seed: RngLike = None,
+    mean_branch_length: float = 0.08,
+    name_prefix: str = "S",
+    unrooted: bool = True,
+) -> Tree:
+    """Simulate a Yule topology with exponential branch lengths.
+
+    Parameters
+    ----------
+    n_species:
+        Number of extant taxa (≥ 3 when ``unrooted``; ≥ 2 otherwise).
+    seed:
+        Seed or generator; fixed seeds make datasets reproducible, the
+        same policy the paper applies to its RNG (§IV).
+    mean_branch_length:
+        Mean of the exponential branch-length distribution, in expected
+        substitutions per codon.  The Selectome alignments are within-
+        vertebrate, so the default is a typical short divergence.
+    name_prefix:
+        Taxa are named ``{prefix}1 .. {prefix}n``.
+    unrooted:
+        Collapse the root into a trifurcation (2s−3 branches, the count
+        the paper quotes) — what CodeML analyses.
+
+    Returns
+    -------
+    Tree
+        Freshly indexed tree; no foreground branch is marked yet.
+    """
+    if n_species < (3 if unrooted else 2):
+        raise ValueError(f"need at least {3 if unrooted else 2} species, got {n_species}")
+    rng = make_rng(seed)
+
+    # Yule process: start from a cherry, repeatedly split a random tip.
+    root = Node()
+    tips = [root.add_child(Node()), root.add_child(Node())]
+    while len(tips) < n_species:
+        chosen = tips.pop(int(rng.integers(len(tips))))
+        tips.append(chosen.add_child(Node()))
+        tips.append(chosen.add_child(Node()))
+    for i, tip in enumerate(tips, start=1):
+        tip.name = f"{name_prefix}{i}"
+
+    tree = Tree(root)
+    for node in tree.nodes:
+        if not node.is_root:
+            node.length = float(rng.exponential(mean_branch_length))
+    if unrooted:
+        tree.unroot()
+    tree.validate_branch_lengths()
+    return tree
+
+
+def random_foreground(tree: Tree, seed: RngLike = None, internal_only: bool = False) -> Node:
+    """Mark a uniformly random branch as foreground and return its node.
+
+    ``internal_only`` restricts the choice to internal branches, which is
+    the common genome-scan configuration (testing ancestral lineages).
+    """
+    rng = make_rng(seed)
+    candidates = [
+        n
+        for n in tree.nodes
+        if not n.is_root and (not internal_only or not n.is_leaf)
+    ]
+    if not candidates:
+        raise ValueError("tree has no eligible branch to mark")
+    chosen = candidates[int(rng.integers(len(candidates)))]
+    tree.mark_foreground(chosen)
+    return chosen

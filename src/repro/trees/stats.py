@@ -1,0 +1,86 @@
+"""Tree statistics: patristic distances, depths, imbalance.
+
+Shared analytical helpers used by tests, examples, and the dataset
+generator diagnostics — notably the patristic distance matrix, which is
+the quantity the OLS branch-length fit (:mod:`repro.trees.least_squares`)
+inverts and the quantity :func:`repro.trees.prune.prune_to_taxa`
+guarantees to preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.trees.tree import Node, Tree
+
+__all__ = ["patristic_distance_matrix", "leaf_depths", "colless_index"]
+
+
+def patristic_distance_matrix(tree: Tree) -> np.ndarray:
+    """Pairwise leaf path-length matrix ordered like ``tree.leaves``.
+
+    Computed in one post-order pass: when a node joins subtrees, every
+    cross-subtree leaf pair's path goes through it, with distances
+    ``depth_a + depth_b`` relative to the node.
+    """
+    n = tree.n_leaves
+    dist = np.zeros((n, n))
+    # For each node: map leaf index -> distance from that leaf up to node.
+    below: Dict[int, Dict[int, float]] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            below[node.index] = {node.index: 0.0}
+            continue
+        merged: Dict[int, float] = {}
+        child_maps = []
+        for child in node.children:
+            child_map = {
+                leaf: d + child.length for leaf, d in below.pop(child.index).items()
+            }
+            child_maps.append(child_map)
+        for i, map_a in enumerate(child_maps):
+            for map_b in child_maps[i + 1 :]:
+                for leaf_a, da in map_a.items():
+                    for leaf_b, db in map_b.items():
+                        dist[leaf_a, leaf_b] = dist[leaf_b, leaf_a] = da + db
+            merged.update(map_a)
+        below[node.index] = merged
+    return dist
+
+
+def leaf_depths(tree: Tree) -> np.ndarray:
+    """Root-to-leaf path lengths, ordered like ``tree.leaves``."""
+    depths = np.zeros(tree.n_leaves)
+
+    def walk(node: Node, acc: float) -> None:
+        if node.is_leaf:
+            depths[node.index] = acc
+            return
+        for child in node.children:
+            walk(child, acc + child.length)
+
+    walk(tree.root, 0.0)
+    return depths
+
+
+def colless_index(tree: Tree) -> int:
+    """Colless imbalance: Σ |left − right| leaf counts over binary splits.
+
+    0 for perfectly balanced trees; (n−1)(n−2)/2 for caterpillars.
+    Nodes with other than two children (the unrooted root trifurcation)
+    contribute the pairwise sum of absolute differences.
+    """
+    sizes: Dict[int, int] = {}
+    total = 0
+    for node in tree.postorder():
+        if node.is_leaf:
+            sizes[node.index] = 1
+            continue
+        counts = [sizes[c.index] for c in node.children]
+        sizes[node.index] = sum(counts)
+        for i in range(len(counts)):
+            for j in range(i + 1, len(counts)):
+                total += abs(counts[i] - counts[j])
+    return total

@@ -1,0 +1,24 @@
+"""Shared numerical and infrastructure utilities.
+
+Small, dependency-free helpers used across the library: a seeded RNG
+policy, validation helpers, log-space arithmetic, and lightweight timers.
+"""
+
+from repro.utils.numerics import (
+    logsumexp_weighted,
+    relative_difference,
+    validate_probability_vector,
+    validate_square,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "Stopwatch",
+    "logsumexp_weighted",
+    "make_rng",
+    "relative_difference",
+    "spawn_rngs",
+    "validate_probability_vector",
+    "validate_square",
+]

@@ -1,0 +1,101 @@
+"""Log-space arithmetic and array validation helpers.
+
+The branch-site mixture likelihood combines per-class site likelihoods
+that carry independent log-scale factors (see
+:mod:`repro.likelihood.mixture`), so a weighted ``logsumexp`` is the
+fundamental combination primitive.  The accuracy metric used throughout
+the paper's evaluation (relative difference ``D``) also lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "logsumexp_weighted",
+    "relative_difference",
+    "validate_probability_vector",
+    "validate_square",
+]
+
+
+def logsumexp_weighted(log_values: np.ndarray, weights: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Compute ``log(sum_k weights[k] * exp(log_values[k]))`` stably.
+
+    Parameters
+    ----------
+    log_values:
+        Array of log-space terms; the reduction runs along ``axis``.
+    weights:
+        Non-negative weights, broadcast against ``log_values`` along
+        ``axis``.  Zero weights are allowed (their terms are dropped),
+        which matters for degenerate mixture proportions such as
+        ``p2a = 0``.
+    axis:
+        Axis of ``log_values`` to reduce.
+
+    Returns
+    -------
+    numpy.ndarray
+        Log of the weighted sum, with ``axis`` removed.
+    """
+    log_values = np.asarray(log_values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0):
+        raise ValueError("mixture weights must be non-negative")
+    # Move the reduction axis to the front so weights broadcast cleanly.
+    lv = np.moveaxis(log_values, axis, 0)
+    w = weights.reshape((-1,) + (1,) * (lv.ndim - 1))
+    if w.shape[0] != lv.shape[0]:
+        raise ValueError(
+            f"weights length {w.shape[0]} does not match reduced axis {lv.shape[0]}"
+        )
+    # Terms with zero weight must not poison the max (they may be -inf).
+    masked = np.where(w > 0, lv, -np.inf)
+    m = np.max(masked, axis=0)
+    # All-zero weights would give log(0); keep that as -inf without warnings.
+    safe_m = np.where(np.isfinite(m), m, 0.0)
+    with np.errstate(invalid="ignore"):
+        total = np.sum(w * np.exp(masked - safe_m), axis=0)
+    with np.errstate(divide="ignore"):
+        out = np.where(np.isfinite(m), safe_m + np.log(np.maximum(total, 0.0)), -np.inf)
+    return out
+
+
+def relative_difference(lnl_reference: float, lnl_other: float) -> float:
+    """Paper §IV-1 accuracy metric ``D = |lnL - lnL̂| / |lnL|``.
+
+    ``lnl_reference`` plays the role of CodeML's log-likelihood and
+    ``lnl_other`` the optimized implementation's.  Returns ``0.0`` when
+    both are exactly equal (including the degenerate ``lnL == 0`` case).
+    """
+    if lnl_reference == lnl_other:
+        return 0.0
+    denom = abs(lnl_reference)
+    if denom == 0.0:
+        return float("inf")
+    return abs(lnl_reference - lnl_other) / denom
+
+
+def validate_probability_vector(pi: np.ndarray, *, name: str = "pi", atol: float = 1e-8) -> np.ndarray:
+    """Validate and return a probability vector as a float array.
+
+    Raises :class:`ValueError` on negative entries or a sum far from 1.
+    """
+    pi = np.asarray(pi, dtype=float)
+    if pi.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {pi.shape}")
+    if np.any(pi < 0):
+        raise ValueError(f"{name} has negative entries")
+    total = float(pi.sum())
+    if not np.isclose(total, 1.0, atol=atol):
+        raise ValueError(f"{name} sums to {total!r}, expected 1.0")
+    return pi
+
+
+def validate_square(matrix: np.ndarray, *, name: str = "matrix") -> np.ndarray:
+    """Validate and return a square 2-D float array."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix

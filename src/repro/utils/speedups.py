@@ -1,0 +1,63 @@
+"""The paper's §IV-2 speedup definitions.
+
+Three flavours are reported in Table IV:
+
+* overall       ``So = St1 / St2`` — total runtimes;
+* per-iteration ``Si = (St1/It1) / (St2/It2)`` — runtimes normalised by
+  optimizer iteration counts (the controlled quantity when the two
+  implementations converge in different numbers of iterations);
+* combined      ``Sc`` — the same ratios over H0+H1 totals.
+
+Kept in the library (rather than the benchmark harness) so the formulas
+are unit-tested and reusable by downstream tooling.
+"""
+
+from __future__ import annotations
+
+__all__ = ["overall_speedup", "per_iteration_speedup", "combined_speedup"]
+
+
+def _positive(value: float, name: str) -> float:
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def overall_speedup(runtime_reference: float, runtime_optimized: float) -> float:
+    """``So = St1 / St2`` (paper §IV-2)."""
+    return _positive(runtime_reference, "runtime_reference") / _positive(
+        runtime_optimized, "runtime_optimized"
+    )
+
+
+def per_iteration_speedup(
+    runtime_reference: float,
+    iterations_reference: int,
+    runtime_optimized: float,
+    iterations_optimized: int,
+) -> float:
+    """``Si``: per-iteration runtimes ratio (paper §IV-2).
+
+    Iteration counts of zero are treated as one — a fit that converged
+    immediately still performed one unit of work (its start evaluation
+    and gradient).
+    """
+    it_ref = max(int(iterations_reference), 1)
+    it_opt = max(int(iterations_optimized), 1)
+    return (
+        _positive(runtime_reference, "runtime_reference") / it_ref
+    ) / (_positive(runtime_optimized, "runtime_optimized") / it_opt)
+
+
+def combined_speedup(
+    runtime_reference_h0: float,
+    runtime_reference_h1: float,
+    runtime_optimized_h0: float,
+    runtime_optimized_h1: float,
+) -> float:
+    """``Sc``: H0+H1 totals ratio (paper §IV-2)."""
+    return overall_speedup(
+        runtime_reference_h0 + runtime_reference_h1,
+        runtime_optimized_h0 + runtime_optimized_h1,
+    )

@@ -1,0 +1,62 @@
+"""Wall-clock measurement helper used by the benchmark harnesses.
+
+The paper reports total runtimes and iteration counts (Table III); the
+:class:`Stopwatch` keeps named accumulators so a fit can report how much
+time went to matrix exponentials versus CLV propagation, mirroring the
+profile-first methodology the optimization is based on.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Named wall-clock accumulators.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.measure("expm"):
+    ...     pass
+    >>> sw.total("expm") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self, label: str) -> float:
+        """Accumulated seconds for ``label`` (0.0 if never measured)."""
+        return self.totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        """Number of measured intervals for ``label``."""
+        return self.counts.get(label, 0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-label breakdown, longest first."""
+        rows = sorted(self.totals.items(), key=lambda kv: -kv[1])
+        return "\n".join(
+            f"{label:<24s} {secs:10.4f} s  ({self.counts[label]} calls)" for label, secs in rows
+        )

@@ -1,0 +1,108 @@
+"""Sequence simulator: determinism, ground truth, and statistical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import MISSING
+from repro.alignment.simulate import simulate_alignment
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.trees.newick import parse_newick
+from repro.trees.simulate import simulate_yule_tree
+
+
+@pytest.fixture
+def marked_tree():
+    return parse_newick("((A:0.2,B:0.1):0.08 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+
+
+@pytest.fixture
+def values():
+    return {"kappa": 2.5, "omega0": 0.3, "omega2": 4.0, "p0": 0.5, "p1": 0.3}
+
+
+class TestBasics:
+    def test_shape_and_names(self, marked_tree, values):
+        sim = simulate_alignment(marked_tree, BranchSiteModelA(), values, 50, seed=1)
+        assert sim.alignment.n_taxa == 5
+        assert sim.alignment.n_codons == 50
+        assert sim.alignment.names == marked_tree.leaf_names()
+
+    def test_deterministic(self, marked_tree, values):
+        a = simulate_alignment(marked_tree, BranchSiteModelA(), values, 40, seed=3)
+        b = simulate_alignment(marked_tree, BranchSiteModelA(), values, 40, seed=3)
+        assert np.array_equal(a.alignment.states, b.alignment.states)
+        assert np.array_equal(a.site_classes, b.site_classes)
+
+    def test_seed_changes_data(self, marked_tree, values):
+        a = simulate_alignment(marked_tree, BranchSiteModelA(), values, 40, seed=3)
+        b = simulate_alignment(marked_tree, BranchSiteModelA(), values, 40, seed=4)
+        assert not np.array_equal(a.alignment.states, b.alignment.states)
+
+    def test_all_states_are_sense_codons(self, marked_tree, values):
+        sim = simulate_alignment(marked_tree, BranchSiteModelA(), values, 60, seed=1)
+        assert sim.alignment.states.min() >= 0
+        assert sim.alignment.states.max() < 61
+
+    def test_site_class_proportions(self, marked_tree, values):
+        sim = simulate_alignment(marked_tree, BranchSiteModelA(), values, 8000, seed=5)
+        freq = np.bincount(sim.site_classes, minlength=4) / 8000
+        model = BranchSiteModelA()
+        expected = np.array([c.proportion for c in model.site_classes(values)])
+        assert np.allclose(freq, expected, atol=0.025)
+
+    def test_missing_fraction(self, marked_tree, values):
+        sim = simulate_alignment(
+            marked_tree, BranchSiteModelA(), values, 500, seed=2, missing_fraction=0.2
+        )
+        frac = np.mean(sim.alignment.states == MISSING)
+        assert 0.14 < frac < 0.26
+
+
+class TestModelRequirements:
+    def test_bsm_requires_foreground(self, values):
+        tree = parse_newick("(A:0.1,B:0.2,C:0.3);")  # no mark
+        with pytest.raises(ValueError, match="foreground"):
+            simulate_alignment(tree, BranchSiteModelA(), values, 10, seed=1)
+
+    def test_m0_ignores_marks(self):
+        tree = parse_newick("(A:0.1,B:0.2,C:0.3);")
+        sim = simulate_alignment(tree, M0Model(), {"kappa": 2.0, "omega": 0.5}, 10, seed=1)
+        assert sim.alignment.n_codons == 10
+
+    def test_invalid_inputs(self, marked_tree, values):
+        with pytest.raises(ValueError, match="n_codons"):
+            simulate_alignment(marked_tree, BranchSiteModelA(), values, 0, seed=1)
+        with pytest.raises(ValueError, match="missing_fraction"):
+            simulate_alignment(
+                marked_tree, BranchSiteModelA(), values, 10, seed=1, missing_fraction=1.5
+            )
+
+
+class TestStatisticalSanity:
+    def test_zero_length_branches_copy_parent(self, values):
+        tree = parse_newick("((A:0.0,B:0.0):0.0 #1,C:0.0,D:0.0);")
+        sim = simulate_alignment(tree, BranchSiteModelA(), values, 30, seed=1)
+        # All branches zero: every taxon carries the root state.
+        assert np.all(sim.alignment.states == sim.alignment.states[0])
+
+    def test_stationary_frequencies_recovered(self):
+        # Long M0 evolution on a star tree: leaf codon usage ~ pi.
+        rng = np.random.default_rng(0)
+        pi = rng.dirichlet(np.full(61, 3.0))  # skewed so the signal is strong
+        tree = simulate_yule_tree(6, seed=2, mean_branch_length=0.2)
+        sim = simulate_alignment(
+            tree, M0Model(), {"kappa": 2.0, "omega": 0.5}, 4000, seed=3, pi=pi
+        )
+        counts = np.bincount(sim.alignment.states.ravel(), minlength=61)
+        freq = counts / counts.sum()
+        assert np.corrcoef(freq, pi)[0, 1] > 0.95
+
+    def test_divergence_grows_with_branch_length(self, values):
+        short = parse_newick("(A:0.01,B:0.01,C:0.01 #1);")
+        long = parse_newick("(A:1.0,B:1.0,C:1.0 #1);")
+        sim_s = simulate_alignment(short, BranchSiteModelA(), values, 400, seed=4)
+        sim_l = simulate_alignment(long, BranchSiteModelA(), values, 400, seed=4)
+        diff_s = np.mean(sim_s.alignment.states[0] != sim_s.alignment.states[1])
+        diff_l = np.mean(sim_l.alignment.states[0] != sim_l.alignment.states[1])
+        assert diff_l > diff_s + 0.1

@@ -1,0 +1,93 @@
+"""CLI end-to-end on tiny inputs."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "--seqfile", "a", "--treefile", "b"],
+            ["simulate", "--prefix", "x"],
+            ["datasets", "--outdir", "d"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_requires_inputs(self, capsys):
+        rc = main(["run"])
+        assert rc == 2
+        assert "provide --ctl" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(tmp_path_factory):
+    prefix = tmp_path_factory.mktemp("cli") / "tiny"
+    rc = main(
+        ["simulate", "--species", "5", "--codons", "40", "--seed", "3", "--prefix", str(prefix)]
+    )
+    assert rc == 0
+    return prefix
+
+
+class TestSimulate:
+    def test_outputs_written(self, tiny_dataset):
+        assert (tiny_dataset.parent / "tiny.phy").exists()
+        assert (tiny_dataset.parent / "tiny.nwk").exists()
+
+    def test_tree_has_foreground_mark(self, tiny_dataset):
+        assert "#1" in (tiny_dataset.parent / "tiny.nwk").read_text()
+
+
+class TestRun:
+    def test_run_to_file(self, tiny_dataset, tmp_path, capsys):
+        out = tmp_path / "report.mlc"
+        rc = main(
+            [
+                "run",
+                "--seqfile", str(tiny_dataset) + ".phy",
+                "--treefile", str(tiny_dataset) + ".nwk",
+                "--engine", "slim",
+                "--max-iterations", "3",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "Likelihood ratio test" in text
+        assert "engine: slim" in text
+
+    def test_run_stdout(self, tiny_dataset, capsys):
+        rc = main(
+            [
+                "run",
+                "--seqfile", str(tiny_dataset) + ".phy",
+                "--treefile", str(tiny_dataset) + ".nwk",
+                "--max-iterations", "2",
+            ]
+        )
+        assert rc == 0
+        assert "lnL" in capsys.readouterr().out
+
+    def test_run_with_ctl(self, tiny_dataset, tmp_path, capsys):
+        ctl = tmp_path / "run.ctl"
+        ctl.write_text(
+            f"seqfile = {tiny_dataset}.phy\n"
+            f"treefile = {tiny_dataset}.nwk\n"
+            "engine = codeml\n"
+            "max_iterations = 2\n"
+        )
+        rc = main(["run", "--ctl", str(ctl)])
+        assert rc == 0
+        assert "engine: codeml" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_writes_requested_subset(self, tmp_path, capsys):
+        rc = main(["datasets", "--outdir", str(tmp_path), "--only", "iii"])
+        assert rc == 0
+        assert (tmp_path / "dataset_iii.phy").exists()
+        assert (tmp_path / "dataset_iii.nwk").exists()
+        assert "25 species x 67 codons" in capsys.readouterr().out

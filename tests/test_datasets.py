@@ -1,0 +1,69 @@
+"""Table II stand-in dataset factory."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TABLE2_SPECS, make_dataset, species_sweep_dataset
+
+
+class TestSpecs:
+    def test_paper_shapes(self):
+        shapes = {
+            name: (spec.n_species, spec.n_codons) for name, spec in TABLE2_SPECS.items()
+        }
+        assert shapes == {
+            "i": (7, 299),
+            "ii": (6, 5004),
+            "iii": (25, 67),
+            "iv": (95, 39),
+        }
+
+    def test_paper_ids_recorded(self):
+        assert TABLE2_SPECS["i"].paper_id.startswith("ENSGT")
+
+    def test_true_values_complete(self):
+        values = TABLE2_SPECS["i"].true_values()
+        assert set(values) == {"kappa", "omega0", "omega2", "p0", "p1"}
+        assert values["omega2"] > 1
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", ["i", "iii", "iv"])
+    def test_shape_matches_spec(self, name):
+        ds = make_dataset(name)
+        assert ds.alignment.n_taxa == ds.spec.n_species
+        assert ds.alignment.n_codons == ds.spec.n_codons
+        assert ds.tree.n_leaves == ds.spec.n_species
+        assert ds.tree.n_branches == 2 * ds.spec.n_species - 3
+
+    def test_foreground_marked(self):
+        ds = make_dataset("iii")
+        assert ds.tree.require_single_foreground() is not None
+
+    def test_deterministic(self):
+        a = make_dataset("iii")
+        b = make_dataset("iii")
+        assert np.array_equal(a.alignment.states, b.alignment.states)
+        assert a.tree.branch_lengths() == pytest.approx(b.tree.branch_lengths())
+
+    def test_ground_truth_classes_recorded(self):
+        ds = make_dataset("iii")
+        assert ds.true_site_classes.shape == (67,)
+        assert ds.true_site_classes.max() <= 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("v")
+
+
+class TestSpeciesSweep:
+    @pytest.mark.parametrize("n", [15, 25, 55])
+    def test_fig3_family(self, n):
+        ds = species_sweep_dataset(n)
+        assert ds.alignment.n_taxa == n
+        assert ds.alignment.n_codons == 39  # dataset iv length
+        assert ds.name == f"iv-{n}sp"
+
+    def test_shares_iv_parameters(self):
+        ds = species_sweep_dataset(15)
+        assert ds.true_values == TABLE2_SPECS["iv"].true_values()

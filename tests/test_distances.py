@@ -1,0 +1,121 @@
+"""Nei-Gojobori (1986) pairwise dN/dS counting."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.distances import (
+    _path_differences,
+    _site_counts,
+    initial_branch_length_matrix,
+    nei_gojobori,
+)
+from repro.alignment.msa import CodonAlignment
+from repro.codon.genetic_code import UNIVERSAL
+
+
+class TestSiteCounts:
+    def test_fourfold_degenerate_third_position(self):
+        # CCT (Pro): third position fully synonymous -> exactly 1 syn site.
+        s, n = _site_counts("CCT", UNIVERSAL)
+        assert s == pytest.approx(1.0)
+        assert n == pytest.approx(2.0)
+
+    def test_met_has_no_synonymous_sites(self):
+        s, n = _site_counts("ATG", UNIVERSAL)
+        assert s == pytest.approx(0.0)
+        assert n == pytest.approx(3.0)
+
+    def test_counts_sum_to_three(self):
+        for codon in UNIVERSAL.sense_codons:
+            s, n = _site_counts(codon, UNIVERSAL)
+            assert s + n == pytest.approx(3.0)
+            assert s >= 0 and n >= 0
+
+
+class TestPathDifferences:
+    def test_identical(self):
+        assert _path_differences("ATG", "ATG", UNIVERSAL) == (0.0, 0.0)
+
+    def test_single_synonymous(self):
+        s, n = _path_differences("TTT", "TTC", UNIVERSAL)
+        assert (s, n) == (1.0, 0.0)
+
+    def test_single_nonsynonymous(self):
+        s, n = _path_differences("TTT", "CTT", UNIVERSAL)
+        assert (s, n) == (0.0, 1.0)
+
+    def test_double_difference_averages_paths(self):
+        # TTT (F) -> GTC (V): paths TTT->GTT->GTC and TTT->TTC->GTC.
+        # path1: nonsyn (F->V), syn (V->V); path2: syn (F->F), nonsyn (F->V).
+        s, n = _path_differences("TTT", "GTC", UNIVERSAL)
+        assert s == pytest.approx(1.0)
+        assert n == pytest.approx(1.0)
+
+    def test_paths_through_stops_excluded(self):
+        # TGT (C) -> TGG (W) is fine; but e.g. TAT (Y) -> TGG (W):
+        # path via TAG (stop) is excluded, via TGT is kept.
+        s, n = _path_differences("TAT", "TGG", UNIVERSAL)
+        assert s + n == pytest.approx(2.0)
+
+
+class TestNeiGojobori:
+    def _aln(self, seq_a, seq_b):
+        return CodonAlignment.from_sequences(["a", "b"], [seq_a, seq_b])
+
+    def test_identical_sequences(self):
+        res = nei_gojobori(self._aln("ATGTTTCCC", "ATGTTTCCC"), 0, 1)
+        assert res.ds == 0.0 and res.dn == 0.0
+        assert np.isnan(res.omega)
+
+    def test_pure_synonymous_divergence(self):
+        # TTT<->TTC (F/F) repeated: only dS moves.
+        res = nei_gojobori(self._aln("TTTTTTTTT", "TTCTTCTTC"), 0, 1)
+        assert res.ds > 0
+        assert res.dn == 0.0
+        assert res.omega == 0.0
+
+    def test_pure_nonsynonymous_divergence(self):
+        # ATG<->CTG (M/L): only dN moves.
+        res = nei_gojobori(self._aln("ATGATGATG", "CTGCTGCTG"), 0, 1)
+        assert res.dn > 0
+        assert res.ds == 0.0
+        assert res.omega == float("inf")
+
+    def test_gaps_skipped(self):
+        full = nei_gojobori(self._aln("TTTAAA", "TTCAAA"), 0, 1)
+        gapped = nei_gojobori(self._aln("TTT---AAA", "TTC---AAA"), 0, 1)
+        assert gapped.ds == pytest.approx(full.ds)
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="no comparable"):
+            nei_gojobori(self._aln("---", "ATG"), 0, 1)
+
+    def test_jc_correction_increases_with_divergence(self):
+        low = nei_gojobori(self._aln("TTT" * 10, "TTC" + "TTT" * 9), 0, 1)
+        high = nei_gojobori(self._aln("TTT" * 10, "TTC" * 5 + "TTT" * 5), 0, 1)
+        assert high.ds > low.ds
+
+    def test_omega_tracks_selection_pressure_in_simulation(self):
+        from repro.alignment.simulate import simulate_alignment
+        from repro.models.m0 import M0Model
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("(a:0.4,b:0.4,c:0.01);")
+        low = simulate_alignment(tree, M0Model(), {"kappa": 2.0, "omega": 0.1}, 600, seed=1)
+        high = simulate_alignment(tree, M0Model(), {"kappa": 2.0, "omega": 1.5}, 600, seed=1)
+        w_low = nei_gojobori(low.alignment, 0, 1).omega
+        w_high = nei_gojobori(high.alignment, 0, 1).omega
+        assert w_low < 0.35
+        assert w_high > 0.8
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self):
+        aln = CodonAlignment.from_sequences(
+            ["a", "b", "c"], ["ATGTTTCCC", "ATGTTCCCC", "ATGTTGCCA"]
+        )
+        dist = initial_branch_length_matrix(aln)
+        assert dist.shape == (3, 3)
+        assert np.allclose(dist, dist.T)
+        assert np.all(np.diag(dist) == 0)
+        assert np.all(dist >= 0)

@@ -1,0 +1,108 @@
+"""Symmetrisation (Eq. 2) and spectral decomposition (§III-A step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.codon.matrix import build_rate_matrix
+from repro.core.eigen import DecompositionCache, decompose, symmetrize
+from repro.core.flops import FlopCounter
+
+
+@pytest.fixture(scope="module")
+def pi():
+    rng = np.random.default_rng(5)
+    raw = rng.dirichlet(np.full(61, 4.0))
+    return raw / raw.sum()
+
+
+@pytest.fixture(scope="module")
+def matrix(pi):
+    return build_rate_matrix(2.3, 0.6, pi)
+
+
+class TestSymmetrize:
+    def test_a_is_symmetric(self, matrix):
+        a = symmetrize(matrix)
+        assert np.allclose(a, a.T)
+
+    def test_a_similar_to_q(self, matrix):
+        # A = Π^{1/2} Q Π^{-1/2} shares Q's spectrum.
+        a = symmetrize(matrix)
+        eig_a = np.sort(np.linalg.eigvalsh(a))
+        eig_q = np.sort(np.linalg.eigvals(matrix.q).real)
+        assert np.allclose(eig_a, eig_q, atol=1e-9)
+
+    def test_spectrum_nonpositive(self, matrix):
+        # A generator's eigenvalues lie in the closed left half-plane.
+        a = symmetrize(matrix)
+        assert np.linalg.eigvalsh(a).max() <= 1e-10
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("driver", ["evr", "ev"])
+    def test_reconstructs_q(self, matrix, driver):
+        d = decompose(matrix, driver=driver)
+        assert np.allclose(d.reconstruct_q(), matrix.q, atol=1e-10)
+
+    def test_eigenvectors_orthonormal(self, matrix):
+        d = decompose(matrix)
+        x = d.eigenvectors
+        assert np.allclose(x.T @ x, np.eye(61), atol=1e-10)
+
+    def test_zero_eigenvalue_present(self, matrix):
+        # The stationary distribution gives exactly one zero eigenvalue.
+        d = decompose(matrix)
+        assert np.min(np.abs(d.eigenvalues)) < 1e-10
+
+    def test_eigenvectors_fortran_ordered(self, matrix):
+        d = decompose(matrix)
+        assert d.eigenvectors.flags["F_CONTIGUOUS"]
+
+    def test_counter_accounting(self, matrix):
+        counter = FlopCounter()
+        decompose(matrix, counter=counter)
+        assert counter.by_operation.get("eigh(dsyevr)", 0) > 0
+
+
+class TestDecompositionCache:
+    def test_hit_on_repeat(self, matrix):
+        cache = DecompositionCache()
+        first = cache.get(matrix)
+        second = cache.get(matrix)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_miss_on_different_omega(self, pi):
+        cache = DecompositionCache()
+        cache.get(build_rate_matrix(2.0, 0.5, pi))
+        cache.get(build_rate_matrix(2.0, 0.6, pi))
+        assert cache.misses == 2
+
+    def test_miss_on_different_pi(self):
+        cache = DecompositionCache()
+        pi_a = np.full(61, 1 / 61)
+        rng = np.random.default_rng(0)
+        pi_b = rng.dirichlet(np.full(61, 8.0))
+        cache.get(build_rate_matrix(2.0, 0.5, pi_a))
+        cache.get(build_rate_matrix(2.0, 0.5, pi_b))
+        assert cache.misses == 2
+
+    def test_lru_eviction(self, pi):
+        cache = DecompositionCache(maxsize=2)
+        m1 = build_rate_matrix(2.0, 0.1, pi)
+        m2 = build_rate_matrix(2.0, 0.2, pi)
+        m3 = build_rate_matrix(2.0, 0.3, pi)
+        cache.get(m1), cache.get(m2), cache.get(m3)
+        assert len(cache) == 2
+        cache.get(m1)  # evicted -> miss
+        assert cache.misses == 4
+
+    def test_clear(self, matrix):
+        cache = DecompositionCache()
+        cache.get(matrix)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            DecompositionCache(maxsize=0)

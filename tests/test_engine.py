@@ -1,0 +1,165 @@
+"""Likelihood engines: agreement, caching, accounting, binding."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.patterns import compress_patterns
+from repro.core.engine import (
+    BaselineEngine,
+    SlimEngine,
+    SlimV2Engine,
+    make_engine,
+)
+from repro.core.flops import FlopCounter
+ENGINE_NAMES = ("codeml", "slim", "slim-v2")
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("codeml", BaselineEngine),
+            ("baseline", BaselineEngine),
+            ("slim", SlimEngine),
+            ("slimcodeml", SlimEngine),
+            ("slim-v2", SlimV2Engine),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_engine(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_engine("warp-drive")
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_bsm_likelihood_matches_baseline(self, name, small_tree, small_sim, h1_model, bsm_values):
+        reference = make_engine("codeml").bind(small_tree, small_sim.alignment, h1_model)
+        lnl_ref = reference.log_likelihood(bsm_values)
+        bound = make_engine(name).bind(small_tree, small_sim.alignment, h1_model)
+        lnl = bound.log_likelihood(bsm_values)
+        # The paper's accuracy metric D (§IV-1): near machine precision here.
+        assert abs(lnl - lnl_ref) / abs(lnl_ref) < 1e-12
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    def test_h0_likelihood_agreement(self, name, small_tree, small_sim, h0_model, bsm_values):
+        values = {k: bsm_values[k] for k in h0_model.param_names}
+        reference = make_engine("codeml").bind(small_tree, small_sim.alignment, h0_model)
+        bound = make_engine(name).bind(small_tree, small_sim.alignment, h0_model)
+        assert bound.log_likelihood(values) == pytest.approx(
+            reference.log_likelihood(values), rel=1e-12
+        )
+
+    def test_slimv2_per_site_mode_agrees(self, small_tree, small_sim, h1_model, bsm_values):
+        bundled = SlimV2Engine(bundled=True).bind(small_tree, small_sim.alignment, h1_model)
+        per_site = SlimV2Engine(bundled=False).bind(small_tree, small_sim.alignment, h1_model)
+        assert bundled.log_likelihood(bsm_values) == pytest.approx(
+            per_site.log_likelihood(bsm_values), rel=1e-13
+        )
+
+
+class TestBinding:
+    def test_taxon_mismatch_rejected(self, small_tree, small_sim, h1_model):
+        bad = small_sim.alignment.subset_taxa(["A", "B", "C", "D"])
+        with pytest.raises(ValueError, match="taxa differ"):
+            make_engine("slim").bind(small_tree, bad, h1_model)
+
+    def test_pattern_alignment_requires_pi(self, small_tree, small_sim, h1_model):
+        patterns = compress_patterns(small_sim.alignment)
+        with pytest.raises(ValueError, match="pi explicitly"):
+            make_engine("slim").bind(small_tree, patterns, h1_model)
+
+    def test_pattern_alignment_with_pi(self, small_tree, small_sim, h1_model, bsm_values):
+        patterns = compress_patterns(small_sim.alignment)
+        pi = np.full(61, 1 / 61)
+        via_patterns = make_engine("slim").bind(small_tree, patterns, h1_model, pi=pi)
+        via_alignment = make_engine("slim").bind(
+            small_tree, small_sim.alignment, h1_model, pi=pi
+        )
+        assert via_patterns.log_likelihood(bsm_values) == pytest.approx(
+            via_alignment.log_likelihood(bsm_values)
+        )
+
+    def test_freq_method_changes_pi(self, small_tree, small_sim, h1_model):
+        b_f3x4 = make_engine("slim").bind(small_tree, small_sim.alignment, h1_model)
+        b_equal = make_engine("slim").bind(
+            small_tree, small_sim.alignment, h1_model, freq_method="equal"
+        )
+        assert not np.allclose(b_f3x4.pi, b_equal.pi)
+
+    def test_branch_length_interface(self, small_tree, small_sim, h1_model, bsm_values):
+        bound = make_engine("slim").bind(small_tree, small_sim.alignment, h1_model)
+        assert bound.n_branches == small_tree.n_branches
+        lnl_a = bound.log_likelihood(bsm_values)
+        bound.set_branch_lengths(np.full(bound.n_branches, 0.2))
+        lnl_b = bound.log_likelihood(bsm_values)
+        assert lnl_a != lnl_b
+        with pytest.raises(ValueError):
+            bound.set_branch_lengths(np.full(bound.n_branches, -1.0))
+        with pytest.raises(ValueError):
+            bound.set_branch_lengths(np.ones(2))
+
+    def test_evaluation_counter(self, small_tree, small_sim, h1_model, bsm_values):
+        bound = make_engine("slim").bind(small_tree, small_sim.alignment, h1_model)
+        bound.log_likelihood(bsm_values)
+        bound.log_likelihood(bsm_values)
+        assert bound.n_evaluations == 2
+
+
+class TestCachingAndAccounting:
+    def test_decomposition_cache_hits_across_evals(self, small_tree, small_sim, h1_model, bsm_values):
+        engine = make_engine("slim")
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model)
+        bound.log_likelihood(bsm_values)
+        misses_first = engine._decomp_cache.misses
+        bound.log_likelihood(bsm_values)
+        assert engine._decomp_cache.misses == misses_first  # all hits second time
+        assert engine._decomp_cache.hits >= 3
+
+    def test_transition_cache_off_by_default(self, small_tree, small_sim, h1_model):
+        engine = make_engine("slim")
+        assert engine.cache_transition_matrices is False
+
+    def test_transition_cache_reduces_expm_calls(self, small_tree, small_sim, h1_model, bsm_values):
+        counter_off = FlopCounter()
+        engine_off = SlimEngine(counter=counter_off)
+        bound = engine_off.bind(small_tree, small_sim.alignment, h1_model)
+        bound.log_likelihood(bsm_values)
+        bound.log_likelihood(bsm_values)
+        flops_off = counter_off.by_operation["expm:dsyrk"]
+
+        counter_on = FlopCounter()
+        engine_on = SlimEngine(counter=counter_on, cache_transition_matrices=True)
+        bound = engine_on.bind(small_tree, small_sim.alignment, h1_model)
+        bound.log_likelihood(bsm_values)
+        bound.log_likelihood(bsm_values)
+        flops_on = counter_on.by_operation["expm:dsyrk"]
+        assert flops_on == flops_off / 2  # second eval fully cached
+
+    def test_flop_split_reported(self, small_tree, small_sim, h1_model, bsm_values):
+        counter = FlopCounter()
+        engine = SlimEngine(counter=counter)
+        engine.bind(small_tree, small_sim.alignment, h1_model).log_likelihood(bsm_values)
+        assert "expm:dsyrk" in counter.by_operation
+        assert "clv:dgemv" in counter.by_operation
+        assert counter.total_flops > 0
+
+    def test_stopwatch_phases(self, small_tree, small_sim, h1_model, bsm_values):
+        engine = make_engine("slim")
+        engine.bind(small_tree, small_sim.alignment, h1_model).log_likelihood(bsm_values)
+        assert engine.stopwatch.count("expm") > 0
+        assert engine.stopwatch.count("clv") > 0
+        assert engine.stopwatch.count("eigh") >= 3  # one per distinct omega
+
+    def test_expm_count_matches_paper_model(self, small_tree, small_sim, h1_model, bsm_values):
+        # Per evaluation: background branches need P(w0), P(w1);
+        # the foreground branch needs P(w0), P(w1), P(w2) — but distinct
+        # (omega, t) pairs are shared across classes (operator memo).
+        engine = make_engine("slim")
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model)
+        bound.log_likelihood(bsm_values)
+        n_branches = small_tree.n_branches
+        expected = 2 * (n_branches - 1) + 3  # distinct (omega, t) pairs
+        assert engine.stopwatch.count("expm") == expected

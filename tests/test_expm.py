@@ -1,0 +1,129 @@
+"""Matrix-exponential kernels: all paths agree with scipy and each other."""
+
+import numpy as np
+import pytest
+
+from repro.codon.matrix import build_rate_matrix
+from repro.core.eigen import decompose
+from repro.core.expm import (
+    fill_symmetric_from_lower,
+    symmetric_branch_matrix,
+    transition_matrix_einsum,
+    transition_matrix_gemm,
+    transition_matrix_scipy,
+    transition_matrix_syrk,
+)
+from repro.core.flops import FlopCounter
+
+KERNELS = [transition_matrix_einsum, transition_matrix_gemm, transition_matrix_syrk]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(3)
+    pi = rng.dirichlet(np.full(61, 6.0))
+    matrix = build_rate_matrix(2.1, 0.8, pi)
+    return matrix, decompose(matrix)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("t", [0.0, 1e-6, 0.05, 0.4, 2.0, 10.0])
+class TestAgainstScipy:
+    def test_matches_pade_reference(self, problem, kernel, t):
+        matrix, decomp = problem
+        reference = transition_matrix_scipy(matrix.q, t)
+        ours = kernel(decomp, t, clip_negative=False)
+        assert np.allclose(ours, reference, atol=1e-11)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+class TestStochasticity:
+    def test_rows_sum_to_one(self, problem, kernel):
+        _, decomp = problem
+        p = kernel(decomp, 0.3)
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_entries_nonnegative_when_clipped(self, problem, kernel):
+        _, decomp = problem
+        p = kernel(decomp, 0.3, clip_negative=True)
+        assert p.min() >= 0.0
+
+    def test_identity_at_t_zero(self, problem, kernel):
+        _, decomp = problem
+        assert np.allclose(kernel(decomp, 0.0), np.eye(61), atol=1e-12)
+
+    def test_rejects_negative_t(self, problem, kernel):
+        _, decomp = problem
+        with pytest.raises(ValueError, match="non-negative"):
+            kernel(decomp, -0.1)
+
+    def test_rejects_nan_t(self, problem, kernel):
+        _, decomp = problem
+        with pytest.raises(ValueError):
+            kernel(decomp, float("nan"))
+
+
+class TestKernelEquivalence:
+    def test_gemm_and_syrk_agree_closely(self, problem):
+        # Same decomposition, Eq. 9 vs Eq. 10: agreement near machine eps.
+        _, decomp = problem
+        pg = transition_matrix_gemm(decomp, 0.17, clip_negative=False)
+        ps = transition_matrix_syrk(decomp, 0.17, clip_negative=False)
+        assert np.abs(pg - ps).max() < 1e-13
+
+    def test_einsum_identical_arithmetic_to_gemm(self, problem):
+        _, decomp = problem
+        pe = transition_matrix_einsum(decomp, 0.17, clip_negative=False)
+        pg = transition_matrix_gemm(decomp, 0.17, clip_negative=False)
+        assert np.abs(pe - pg).max() < 1e-13
+
+
+class TestSymmetricBranchMatrix:
+    def test_action_matches_p(self, problem):
+        matrix, decomp = problem
+        rng = np.random.default_rng(1)
+        t = 0.23
+        p = transition_matrix_syrk(decomp, t, clip_negative=False)
+        m = symmetric_branch_matrix(decomp, t)
+        for _ in range(5):
+            w = rng.random(61)
+            assert np.allclose(m @ (matrix.pi * w), p @ w, atol=1e-11)
+
+    def test_m_is_exactly_symmetric(self, problem):
+        _, decomp = problem
+        m = symmetric_branch_matrix(decomp, 0.4)
+        assert np.array_equal(m, m.T)
+
+
+class TestFlopAccounting:
+    def test_gemm_vs_syrk_ratio(self, problem):
+        # The paper's headline: ~2n³ vs ~n³ (exact ratio 2n/(n+1)).
+        _, decomp = problem
+        counter = FlopCounter()
+        transition_matrix_gemm(decomp, 0.1, counter=counter)
+        transition_matrix_syrk(decomp, 0.1, counter=counter)
+        ratio = counter.by_operation["expm:dgemm"] / counter.by_operation["expm:dsyrk"]
+        assert ratio == pytest.approx(2 * 61 / 62)
+
+    def test_einsum_counted_as_2n3(self, problem):
+        _, decomp = problem
+        counter = FlopCounter()
+        transition_matrix_einsum(decomp, 0.1, counter=counter)
+        assert counter.by_operation["expm:einsum(eq9)"] == 2 * 61**3
+
+
+class TestFillSymmetric:
+    def test_mirrors_lower_triangle(self):
+        rng = np.random.default_rng(0)
+        lower = np.tril(rng.random((5, 5)))
+        full = fill_symmetric_from_lower(lower)
+        assert np.array_equal(full, full.T)
+        assert np.allclose(np.tril(full), lower)
+
+    def test_chapman_kolmogorov(self, problem):
+        # P(a) P(b) = P(a+b) — the semigroup property of the kernels.
+        _, decomp = problem
+        pa = transition_matrix_syrk(decomp, 0.1, clip_negative=False)
+        pb = transition_matrix_syrk(decomp, 0.25, clip_negative=False)
+        pab = transition_matrix_syrk(decomp, 0.35, clip_negative=False)
+        assert np.allclose(pa @ pb, pab, atol=1e-11)

@@ -1,0 +1,123 @@
+"""Fixed-parameter fitting (CodeML's fix_kappa-style options)."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.simulate import simulate_alignment
+from repro.core.engine import make_engine
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.optimize.ml import fit_branch_site_test, fit_model
+from repro.trees.newick import parse_newick
+
+
+@pytest.fixture(scope="module")
+def problem():
+    tree = parse_newick("((A:0.2,B:0.1):0.1 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+    values = {"kappa": 2.5, "omega0": 0.2, "omega2": 5.0, "p0": 0.5, "p1": 0.3}
+    sim = simulate_alignment(tree, BranchSiteModelA(), values, 80, seed=9)
+    return tree, sim
+
+
+class TestFixedParams:
+    def test_kappa_stays_at_start(self, problem):
+        tree, sim = problem
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        fit = fit_model(
+            bound,
+            start_values={"kappa": 3.21, "omega": 0.5},
+            fixed_params={"kappa"},
+            max_iterations=5,
+            seed=1,
+        )
+        assert fit.values["kappa"] == pytest.approx(3.21, rel=1e-9)
+
+    def test_free_params_still_move(self, problem):
+        tree, sim = problem
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        fit = fit_model(
+            bound,
+            start_values={"kappa": 3.21, "omega": 1.0},
+            fixed_params={"kappa"},
+            max_iterations=8,
+            seed=1,
+        )
+        assert fit.values["omega"] != pytest.approx(1.0, abs=1e-6)
+
+    def test_fixed_fit_never_beats_free_fit(self, problem):
+        tree, sim = problem
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        start = {"kappa": 1.0, "omega": 0.5}
+        free = fit_model(bound, start_values=dict(start), max_iterations=30, seed=1)
+        fixed = fit_model(
+            bound, start_values=dict(start), fixed_params={"kappa"}, max_iterations=30, seed=1
+        )
+        assert free.lnl >= fixed.lnl - 1e-6
+
+    def test_unfixable_param_rejected(self, problem):
+        tree, sim = problem
+        bound = make_engine("slim").bind(tree, sim.alignment, BranchSiteModelA())
+        with pytest.raises(ValueError, match="cannot fix"):
+            fit_model(bound, fixed_params={"p0"}, max_iterations=1, seed=1)
+
+    def test_unknown_param_rejected(self, problem):
+        tree, sim = problem
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        with pytest.raises(ValueError, match="no parameters"):
+            fit_model(bound, fixed_params={"omega2"}, max_iterations=1, seed=1)
+
+
+class TestStartOverrides:
+    def test_branch_site_test_with_fixed_kappa(self, problem):
+        tree, sim = problem
+        engine = make_engine("slim")
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m),
+            seed=1,
+            max_iterations=3,
+            start_overrides={"kappa": 2.75},
+            fixed_params={"kappa"},
+        )
+        assert test.h0.values["kappa"] == pytest.approx(2.75, rel=1e-9)
+        assert test.h1.values["kappa"] == pytest.approx(2.75, rel=1e-9)
+
+    def test_override_without_fixing_is_start_only(self, problem):
+        tree, sim = problem
+        engine = make_engine("slim")
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m),
+            seed=1,
+            max_iterations=6,
+            start_overrides={"kappa": 9.0},
+        )
+        # kappa started at 9 but was free to move toward the truth (2.5).
+        assert test.h0.values["kappa"] < 9.0
+
+
+class TestCtlIntegration:
+    def test_cli_fix_kappa(self, tmp_path, capsys):
+        from repro.alignment.parsers import write_phylip
+        from repro.cli import main
+        from repro.trees.newick import write_newick
+
+        tree = parse_newick("((A:0.2,B:0.1):0.1 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+        sim = simulate_alignment(
+            tree,
+            BranchSiteModelA(),
+            {"kappa": 2.0, "omega0": 0.2, "omega2": 4.0, "p0": 0.5, "p1": 0.3},
+            40,
+            seed=2,
+        )
+        write_phylip(sim.alignment, tmp_path / "g.phy")
+        (tmp_path / "g.nwk").write_text(write_newick(tree) + "\n")
+        (tmp_path / "g.ctl").write_text(
+            f"seqfile = {tmp_path}/g.phy\n"
+            f"treefile = {tmp_path}/g.nwk\n"
+            "fix_kappa = 1\n"
+            "kappa = 4.5\n"
+            "max_iterations = 2\n"
+        )
+        rc = main(["run", "--ctl", str(tmp_path / "g.ctl")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kappa    = 4.500000" in out

@@ -1,0 +1,105 @@
+"""Codon frequency estimators (CodeML CodonFreq options)."""
+
+import numpy as np
+import pytest
+
+from repro.codon.frequencies import (
+    MIN_FREQUENCY,
+    codon_frequencies_equal,
+    codon_frequencies_f1x4,
+    codon_frequencies_f3x4,
+    codon_frequencies_f61,
+    estimate_codon_frequencies,
+    frequencies_from_counts,
+)
+from repro.codon.genetic_code import UNIVERSAL
+
+
+def _is_probability_vector(pi):
+    return pi.shape == (61,) and np.all(pi > 0) and np.isclose(pi.sum(), 1.0)
+
+
+class TestEqual:
+    def test_uniform(self):
+        pi = codon_frequencies_equal()
+        assert _is_probability_vector(pi)
+        assert np.allclose(pi, 1.0 / 61)
+
+
+class TestF61:
+    def test_single_codon_dominates(self):
+        pi = codon_frequencies_f61(["ATGATGATG"])
+        atg = UNIVERSAL.codon_index["ATG"]
+        assert pi[atg] == pytest.approx(1.0, abs=1e-7)
+        assert _is_probability_vector(pi)
+
+    def test_counts_proportional(self):
+        pi = codon_frequencies_f61(["ATGATGTTT"])
+        atg, ttt = UNIVERSAL.codon_index["ATG"], UNIVERSAL.codon_index["TTT"]
+        assert pi[atg] / pi[ttt] == pytest.approx(2.0, rel=1e-6)
+
+    def test_gaps_and_ambiguity_skipped(self):
+        pi_clean = codon_frequencies_f61(["ATGTTT"])
+        pi_gappy = codon_frequencies_f61(["ATG---TTTNNN"])
+        assert np.allclose(pi_clean, pi_gappy)
+
+    def test_stops_excluded(self):
+        pi = codon_frequencies_f61(["TAAATG"])  # TAA is a stop
+        atg = UNIVERSAL.codon_index["ATG"]
+        assert pi[atg] == pytest.approx(1.0, abs=1e-7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            codon_frequencies_f61(["---"])
+
+
+class TestF1x4F3x4:
+    def test_f1x4_uniform_input(self):
+        # Equal nucleotide usage -> near-uniform codon frequencies.
+        pi = codon_frequencies_f1x4(["TCAG" * 3])
+        assert _is_probability_vector(pi)
+        assert np.allclose(pi, pi[0], rtol=1e-9)
+
+    def test_f3x4_position_specific(self):
+        # Sequence with A only at position 0, T at 1, G at 2: only ATG survives.
+        pi = codon_frequencies_f3x4(["ATGATG"])
+        atg = UNIVERSAL.codon_index["ATG"]
+        assert pi[atg] > 0.999
+
+    def test_f3x4_differs_from_f1x4_on_biased_positions(self):
+        seqs = ["ATGGCAATGGCA" * 5]
+        f1 = codon_frequencies_f1x4(seqs)
+        f3 = codon_frequencies_f3x4(seqs)
+        assert not np.allclose(f1, f3)
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            codon_frequencies_f3x4(["ATGA"])
+
+
+class TestDispatchAndCounts:
+    @pytest.mark.parametrize("method", ["equal", "f1x4", "f3x4", "f61"])
+    def test_estimator_dispatch(self, method):
+        pi = estimate_codon_frequencies(["ATGTTTCCCAAA"], method=method)
+        assert _is_probability_vector(pi)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown CodonFreq"):
+            estimate_codon_frequencies(["ATG"], method="f99")
+
+    def test_counts_floor(self):
+        counts = np.zeros(61)
+        counts[0] = 10.0
+        pi = frequencies_from_counts(counts)
+        assert pi.min() >= MIN_FREQUENCY / 2
+        assert np.isclose(pi.sum(), 1.0)
+
+    def test_negative_counts_rejected(self):
+        counts = np.zeros(61)
+        counts[0] = -1
+        with pytest.raises(ValueError):
+            frequencies_from_counts(counts)
+
+    def test_all_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            frequencies_from_counts(np.zeros(61))

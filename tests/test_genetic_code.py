@@ -1,0 +1,108 @@
+"""Genetic code tables and the sense-codon state space."""
+
+import numpy as np
+import pytest
+
+from repro.codon.genetic_code import (
+    NUCLEOTIDES,
+    UNIVERSAL,
+    VERTEBRATE_MITOCHONDRIAL,
+    codon_index_array,
+    get_genetic_code,
+    is_transition,
+    nucleotide_diff_positions,
+)
+
+
+class TestUniversalCode:
+    def test_61_sense_codons(self):
+        assert UNIVERSAL.n_states == 61
+
+    def test_stop_codons(self):
+        assert set(UNIVERSAL.stop_codons) == {"TAA", "TAG", "TGA"}
+
+    def test_known_translations(self):
+        assert UNIVERSAL.translate("ATG") == "M"
+        assert UNIVERSAL.translate("TGG") == "W"
+        assert UNIVERSAL.translate("TTT") == "F"
+        assert UNIVERSAL.translate("AAA") == "K"
+        assert UNIVERSAL.translate("TAA") == "*"
+
+    def test_case_and_rna_tolerance(self):
+        assert UNIVERSAL.translate("atg") == "M"
+        assert UNIVERSAL.translate_sequence("AUGUUU") == "MF"
+
+    def test_sense_codons_exclude_stops(self):
+        assert not any(UNIVERSAL.is_stop(c) for c in UNIVERSAL.sense_codons)
+
+    def test_codon_index_is_contiguous(self):
+        index = UNIVERSAL.codon_index
+        assert sorted(index.values()) == list(range(61))
+
+    def test_codon_ordering_is_tcag(self):
+        # First sense codon in TCAG enumeration is TTT; last is GGG.
+        assert UNIVERSAL.sense_codons[0] == "TTT"
+        assert UNIVERSAL.sense_codons[-1] == "GGG"
+
+    def test_translate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            UNIVERSAL.translate("XYZ")
+
+    def test_translate_sequence_rejects_partial_codon(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            UNIVERSAL.translate_sequence("ATGA")
+
+    def test_synonymy(self):
+        assert UNIVERSAL.synonymous("TTT", "TTC")  # both Phe
+        assert not UNIVERSAL.synonymous("TTT", "TTA")  # Phe vs Leu
+
+    def test_synonymy_rejects_stops(self):
+        with pytest.raises(ValueError):
+            UNIVERSAL.synonymous("TAA", "TTT")
+
+
+class TestMitochondrialCode:
+    def test_60_sense_codons(self):
+        assert VERTEBRATE_MITOCHONDRIAL.n_states == 60
+
+    def test_mito_specific_assignments(self):
+        assert VERTEBRATE_MITOCHONDRIAL.translate("TGA") == "W"
+        assert VERTEBRATE_MITOCHONDRIAL.translate("ATA") == "M"
+        assert VERTEBRATE_MITOCHONDRIAL.translate("AGA") == "*"
+        assert VERTEBRATE_MITOCHONDRIAL.translate("AGG") == "*"
+
+
+class TestLookup:
+    def test_get_by_name(self):
+        assert get_genetic_code("universal") is UNIVERSAL
+        assert get_genetic_code("vertmt") is VERTEBRATE_MITOCHONDRIAL
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown genetic code"):
+            get_genetic_code("klingon")
+
+
+class TestNucleotideHelpers:
+    def test_alphabet(self):
+        assert NUCLEOTIDES == "TCAG"
+
+    def test_diff_positions(self):
+        assert nucleotide_diff_positions("TTT", "TTC") == (2,)
+        assert nucleotide_diff_positions("TTT", "TCC") == (1, 2)
+        assert nucleotide_diff_positions("TTT", "TTT") == ()
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("A", "G", True), ("G", "A", True), ("C", "T", True), ("A", "C", False), ("G", "T", False)],
+    )
+    def test_transitions(self, a, b, expected):
+        assert is_transition(a, b) is expected
+
+    def test_transition_rejects_identical(self):
+        with pytest.raises(ValueError):
+            is_transition("A", "A")
+
+    def test_codon_index_array_covers_sense_space(self):
+        idx = codon_index_array(UNIVERSAL)
+        assert idx.shape == (61,)
+        assert np.all(np.diff(idx) > 0)

@@ -1,0 +1,157 @@
+"""End-to-end integration: the paper's workflow on simulated data.
+
+These tests run the complete pipeline — simulate → bind → fit H0+H1 →
+LRT → empirical Bayes — and the §IV-1 accuracy comparison between the
+engines, on problems small enough for CI but large enough to be
+meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alignment.simulate import simulate_alignment
+from repro.core.engine import make_engine
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.optimize.lrt import likelihood_ratio_test
+from repro.optimize.ml import fit_branch_site_test, fit_model
+from repro.trees.newick import parse_newick
+from repro.utils.numerics import relative_difference
+
+TREE = "((A:0.25,B:0.25):0.3 #1,(C:0.25,D:0.25):0.1,E:0.35);"
+
+
+@pytest.fixture(scope="module")
+def positive_data():
+    """Strong positive selection on the foreground branch."""
+    tree = parse_newick(TREE)
+    values = {"kappa": 2.0, "omega0": 0.05, "omega2": 9.0, "p0": 0.55, "p1": 0.2}
+    sim = simulate_alignment(tree, BranchSiteModelA(), values, n_codons=250, seed=21)
+    return tree, sim
+
+
+@pytest.fixture(scope="module")
+def null_data():
+    """Data generated under H0 (omega2 = 1): no positive selection."""
+    tree = parse_newick(TREE)
+    h0 = BranchSiteModelA(fix_omega2=True)
+    values = {"kappa": 2.0, "omega0": 0.2, "p0": 0.6, "p1": 0.3}
+    sim = simulate_alignment(tree, h0, values, n_codons=250, seed=22)
+    return tree, sim
+
+
+class TestAccuracyAcrossEngines:
+    """The paper's §IV-1 experiment in miniature: relative differences D."""
+
+    @pytest.mark.parametrize("other", ["slim", "slim-v2"])
+    def test_converged_lnl_matches_baseline(self, positive_data, other):
+        tree, sim = positive_data
+        results = {}
+        for name in ("codeml", other):
+            engine = make_engine(name)
+            test = fit_branch_site_test(
+                lambda m: engine.bind(tree, sim.alignment, m),
+                seed=1,
+                max_iterations=25,
+            )
+            results[name] = test
+        for hypo in ("h0", "h1"):
+            d = relative_difference(
+                getattr(results["codeml"], hypo).lnl, getattr(results[other], hypo).lnl
+            )
+            # Paper reports D between 0 and ~5e-8; identical optimizer +
+            # same seeds keeps ours comparably tiny.
+            assert d < 1e-6, f"D = {d} for {hypo}"
+
+    def test_single_evaluation_d_near_machine_eps(self, positive_data):
+        tree, sim = positive_data
+        values = {"kappa": 2.0, "omega0": 0.1, "omega2": 3.0, "p0": 0.5, "p1": 0.3}
+        lnls = {}
+        for name in ("codeml", "slim", "slim-v2"):
+            bound = make_engine(name).bind(tree, sim.alignment, BranchSiteModelA())
+            lnls[name] = bound.log_likelihood(values)
+        assert relative_difference(lnls["codeml"], lnls["slim"]) < 1e-12
+        assert relative_difference(lnls["codeml"], lnls["slim-v2"]) < 1e-12
+
+
+class TestLRTBehaviour:
+    def test_positive_selection_detected(self, positive_data):
+        tree, sim = positive_data
+        engine = make_engine("slim")
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m), seed=1, max_iterations=40
+        )
+        assert test.lrt.statistic > 3.84  # significant at 5%
+        assert test.lrt.significant()
+        assert test.h1.values["omega2"] > 1.5
+
+    def test_null_data_not_significant(self, null_data):
+        tree, sim = null_data
+        engine = make_engine("slim")
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m), seed=1, max_iterations=40
+        )
+        assert test.lrt.statistic < 3.84
+        assert not test.lrt.significant()
+
+
+class TestParameterRecovery:
+    def test_m0_recovers_generating_parameters(self):
+        # M0 fit on M0 data: kappa and omega recovered within tolerance.
+        tree = parse_newick(TREE)
+        truth = {"kappa": 3.0, "omega": 0.4}
+        sim = simulate_alignment(tree, M0Model(), truth, n_codons=600, seed=31)
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        fit = fit_model(bound, seed=1, max_iterations=60)
+        assert fit.converged
+        assert fit.values["kappa"] == pytest.approx(3.0, rel=0.25)
+        assert fit.values["omega"] == pytest.approx(0.4, rel=0.25)
+
+    def test_m0_recovers_branch_lengths(self):
+        tree = parse_newick(TREE)
+        truth = {"kappa": 2.0, "omega": 0.5}
+        sim = simulate_alignment(tree, M0Model(), truth, n_codons=800, seed=32)
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        fit = fit_model(bound, seed=1, max_iterations=80)
+        true_lengths = np.array(tree.branch_lengths())
+        # Total tree length is better identified than individual branches.
+        assert fit.branch_lengths.sum() == pytest.approx(true_lengths.sum(), rel=0.2)
+
+
+class TestEmpiricalBayesEndToEnd:
+    def test_neb_after_significant_lrt(self, positive_data):
+        from repro.optimize.beb import neb_site_probabilities
+
+        tree, sim = positive_data
+        engine = make_engine("slim")
+        model = BranchSiteModelA()
+        bound = engine.bind(tree, sim.alignment, model)
+        fit = fit_model(bound, seed=1, max_iterations=30)
+        sites = neb_site_probabilities(bound, fit.values, fit.branch_lengths)
+        truth = sim.site_classes >= 2
+        # Enrichment: true class-2 sites rank higher on average.
+        assert sites.probabilities[truth].mean() > sites.probabilities[~truth].mean()
+
+
+class TestCrossEngineFitTrajectories:
+    def test_same_seed_same_start_lnl(self, positive_data):
+        # Both engines evaluate the identical start point (fixed-seed
+        # rule): their first objective values agree to machine precision.
+        tree, sim = positive_data
+        model = BranchSiteModelA()
+        start = model.default_start(np.random.default_rng(4))
+        lnls = []
+        for name in ("codeml", "slim"):
+            bound = make_engine(name).bind(tree, sim.alignment, model)
+            lnls.append(bound.log_likelihood(start))
+        assert relative_difference(lnls[0], lnls[1]) < 1e-12
+
+    def test_h0_h1_nesting_on_fits(self, positive_data):
+        tree, sim = positive_data
+        engine = make_engine("slim-v2")
+        test = fit_branch_site_test(
+            lambda m: engine.bind(tree, sim.alignment, m), seed=3, max_iterations=20
+        )
+        assert test.h1.lnl >= test.h0.lnl - 1e-6
+        lrt = likelihood_ratio_test(test.h0.lnl, test.h1.lnl)
+        assert lrt.statistic >= 0

@@ -1,0 +1,113 @@
+"""OLS branch lengths and the NG86 data-driven optimizer start."""
+
+import numpy as np
+import pytest
+
+from repro.trees.least_squares import branch_incidence_matrix, least_squares_branch_lengths
+from repro.trees.newick import parse_newick
+from repro.trees.simulate import simulate_yule_tree
+
+
+def _patristic_matrix(tree):
+    """Pairwise leaf path lengths via the incidence matrix itself."""
+    a = branch_incidence_matrix(tree)
+    b = np.array(tree.branch_lengths())
+    n = tree.n_leaves
+    dist = np.zeros((n, n))
+    row = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist[i, j] = dist[j, i] = a[row] @ b
+            row += 1
+    return dist
+
+
+class TestIncidenceMatrix:
+    def test_shape(self):
+        tree = parse_newick("((A:1,B:1):1,C:1,D:1);")
+        a = branch_incidence_matrix(tree)
+        assert a.shape == (6, 5)  # C(4,2) pairs x (2*4-3) branches
+
+    def test_terminal_branch_membership(self):
+        tree = parse_newick("(A:1,B:1,C:1);")
+        a = branch_incidence_matrix(tree)
+        # Every pair path uses exactly the two terminal branches.
+        assert np.all(a.sum(axis=1) == 2)
+
+    def test_internal_branch_separates_clades(self):
+        tree = parse_newick("((A:1,B:1):1,C:1,D:1);")
+        a = branch_incidence_matrix(tree)
+        b = np.zeros(5)
+        # Identify the internal branch column: the one on exactly the
+        # cross-clade paths (A-C, A-D, B-C, B-D) = 4 of 6 pairs.
+        col_counts = a.sum(axis=0)
+        assert sorted(col_counts.tolist()).count(4.0) >= 1
+
+
+class TestLeastSquares:
+    @pytest.mark.parametrize("n", [4, 7, 12])
+    def test_exact_recovery_from_true_distances(self, n):
+        tree = simulate_yule_tree(n, seed=n)
+        true_lengths = np.array(tree.branch_lengths())
+        dist = _patristic_matrix(tree)
+        recovered = least_squares_branch_lengths(tree, dist)
+        assert np.allclose(recovered, np.maximum(true_lengths, 1e-6), atol=1e-8)
+
+    def test_noisy_distances_near_truth(self):
+        tree = simulate_yule_tree(8, seed=3, mean_branch_length=0.3)
+        rng = np.random.default_rng(0)
+        dist = _patristic_matrix(tree)
+        noise = rng.normal(scale=0.01, size=dist.shape)
+        noisy = dist + 0.5 * (noise + noise.T)
+        np.fill_diagonal(noisy, 0.0)
+        recovered = least_squares_branch_lengths(tree, np.abs(noisy))
+        assert np.allclose(recovered, tree.branch_lengths(), atol=0.08)
+
+    def test_negative_solutions_clipped(self):
+        tree = parse_newick("(A:1,B:1,C:1);")
+        # Distances violating the triangle structure force a negative OLS
+        # coordinate, which must be clipped.
+        dist = np.array([[0.0, 0.1, 2.0], [0.1, 0.0, 2.0], [2.0, 2.0, 0.0]])
+        lengths = least_squares_branch_lengths(tree, dist)
+        assert np.all(lengths >= 1e-6)
+
+    def test_validation(self):
+        tree = parse_newick("(A:1,B:1,C:1);")
+        with pytest.raises(ValueError, match="shape"):
+            least_squares_branch_lengths(tree, np.zeros((2, 2)))
+        asym = np.array([[0.0, 1.0, 1.0], [2.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            least_squares_branch_lengths(tree, asym)
+
+
+class TestNg86Start:
+    def test_fit_model_accepts_ng86_start(self):
+        from repro.alignment.simulate import simulate_alignment
+        from repro.core.engine import make_engine
+        from repro.models.m0 import M0Model
+        from repro.optimize.ml import fit_model, ng86_start_lengths
+
+        tree = simulate_yule_tree(5, seed=2, mean_branch_length=0.2)
+        sim = simulate_alignment(tree, M0Model(), {"kappa": 2.0, "omega": 0.5}, 200, seed=3)
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+
+        start = ng86_start_lengths(bound)
+        assert start.shape == (tree.n_branches,)
+        assert np.all(start > 0)
+        # Data-driven start lands near the generating tree length.
+        assert start.sum() == pytest.approx(tree.total_tree_length(), rel=0.5)
+
+        fit = fit_model(bound, start_lengths="ng86", seed=1, max_iterations=3)
+        assert np.isfinite(fit.lnl)
+
+    def test_unknown_mode_rejected(self):
+        from repro.alignment.simulate import simulate_alignment
+        from repro.core.engine import make_engine
+        from repro.models.m0 import M0Model
+        from repro.optimize.ml import fit_model
+
+        tree = simulate_yule_tree(4, seed=2)
+        sim = simulate_alignment(tree, M0Model(), {"kappa": 2.0, "omega": 0.5}, 30, seed=3)
+        bound = make_engine("slim").bind(tree, sim.alignment, M0Model())
+        with pytest.raises(ValueError, match="ng86"):
+            fit_model(bound, start_lengths="magic")

@@ -1,0 +1,116 @@
+"""Mixture combination and class posteriors."""
+
+import numpy as np
+import pytest
+
+from repro.likelihood.mixture import (
+    class_posteriors,
+    mixture_log_likelihood,
+    site_class_log_likelihoods,
+)
+from repro.likelihood.pruning import PruningResult
+
+
+def _result(root_clv, scalers=None):
+    n_patterns = root_clv.shape[1]
+    return PruningResult(
+        root_clv=root_clv,
+        log_scalers=np.zeros(n_patterns) if scalers is None else scalers,
+    )
+
+
+@pytest.fixture
+def pi():
+    return np.array([0.5, 0.3, 0.2])
+
+
+class TestSiteLogLikelihoods:
+    def test_basic_dot_product(self, pi):
+        clv = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]])
+        res = _result(clv)
+        lnl = res.site_log_likelihoods(pi)
+        assert lnl == pytest.approx(np.log([0.5, 0.3]))
+
+    def test_scalers_added(self, pi):
+        clv = np.ones((3, 1))
+        res = _result(clv, scalers=np.array([-5.0]))
+        assert res.site_log_likelihoods(pi)[0] == pytest.approx(np.log(1.0) - 5.0)
+
+    def test_stack_shape(self, pi):
+        results = [_result(np.ones((3, 4))) for _ in range(2)]
+        assert site_class_log_likelihoods(results, pi).shape == (2, 4)
+
+    def test_empty_rejected(self, pi):
+        with pytest.raises(ValueError):
+            site_class_log_likelihoods([], pi)
+
+
+class TestMixture:
+    def test_single_class_is_identity(self, pi):
+        clv = np.array([[0.2, 0.4], [0.1, 0.2], [0.3, 0.1]])
+        res = _result(clv)
+        lnl, per_pattern = mixture_log_likelihood([res], pi, [1.0], np.array([1.0, 1.0]))
+        assert per_pattern == pytest.approx(res.site_log_likelihoods(pi))
+        assert lnl == pytest.approx(per_pattern.sum())
+
+    def test_two_class_weighted_sum(self, pi):
+        a = _result(np.full((3, 1), 0.2))
+        b = _result(np.full((3, 1), 0.6))
+        lnl, _ = mixture_log_likelihood([a, b], pi, [0.25, 0.75], np.array([1.0]))
+        expected = np.log(0.25 * 0.2 + 0.75 * 0.6)
+        assert lnl == pytest.approx(expected)
+
+    def test_pattern_weights_multiply(self, pi):
+        res = _result(np.full((3, 2), 0.5))
+        lnl, per_pattern = mixture_log_likelihood([res], pi, [1.0], np.array([3.0, 1.0]))
+        assert lnl == pytest.approx(3 * per_pattern[0] + per_pattern[1])
+
+    def test_scaler_mismatch_between_classes_handled(self, pi):
+        # Class A un-scaled, class B carrying a -50 log scaler; mixture must
+        # combine in log space without underflow.
+        a = _result(np.full((3, 1), 0.3))
+        b = _result(np.full((3, 1), 0.3), scalers=np.array([-50.0]))
+        lnl, _ = mixture_log_likelihood([a, b], pi, [0.5, 0.5], np.array([1.0]))
+        expected = np.log(0.5 * 0.3 + 0.5 * 0.3 * np.exp(-50.0))
+        assert lnl == pytest.approx(expected)
+
+    def test_zero_proportion_class_ignored(self, pi):
+        a = _result(np.full((3, 1), 0.3))
+        impossible = _result(np.zeros((3, 1)))  # -inf log-likelihood
+        lnl, _ = mixture_log_likelihood(
+            [a, impossible], pi, [1.0, 0.0], np.array([1.0])
+        )
+        assert lnl == pytest.approx(np.log(0.3))
+
+    def test_count_mismatch(self, pi):
+        res = _result(np.ones((3, 1)))
+        with pytest.raises(ValueError, match="proportions"):
+            mixture_log_likelihood([res], pi, [0.5, 0.5], np.array([1.0]))
+
+    def test_weight_shape_mismatch(self, pi):
+        res = _result(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="weight"):
+            mixture_log_likelihood([res], pi, [1.0], np.array([1.0]))
+
+
+class TestClassPosteriors:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        class_lnl = np.log(rng.random((3, 5)))
+        post = class_posteriors(class_lnl, [0.2, 0.3, 0.5])
+        assert np.allclose(post.sum(axis=0), 1.0)
+
+    def test_dominant_class_wins(self):
+        class_lnl = np.array([[0.0], [-50.0]])
+        post = class_posteriors(class_lnl, [0.5, 0.5])
+        assert post[0, 0] > 0.999
+
+    def test_proportion_prior_matters(self):
+        class_lnl = np.zeros((2, 1))  # equal likelihoods
+        post = class_posteriors(class_lnl, [0.9, 0.1])
+        assert post[0, 0] == pytest.approx(0.9)
+
+    def test_zero_proportion_class_gets_zero_posterior(self):
+        class_lnl = np.zeros((2, 1))
+        post = class_posteriors(class_lnl, [1.0, 0.0])
+        assert post[1, 0] == 0.0

@@ -1,0 +1,129 @@
+"""Codon alignment encoding: states, gaps, ambiguity, stops."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
+from repro.codon.genetic_code import UNIVERSAL
+
+
+class TestEncoding:
+    def test_exact_codons(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATGTTT", "ATGCCC"])
+        idx = UNIVERSAL.codon_index
+        assert aln.states[0, 0] == idx["ATG"]
+        assert aln.states[0, 1] == idx["TTT"]
+        assert aln.states[1, 1] == idx["CCC"]
+        assert aln.n_taxa == 2 and aln.n_codons == 2
+
+    def test_gap_codon_is_missing(self):
+        aln = CodonAlignment.from_sequences(["x"], ["---"])
+        assert aln.states[0, 0] == MISSING
+
+    def test_nnn_is_missing(self):
+        aln = CodonAlignment.from_sequences(["x"], ["NNN"])
+        assert aln.states[0, 0] == MISSING
+
+    def test_partial_ambiguity(self):
+        # ATR = {ATA (Ile), ATG (Met)}.
+        aln = CodonAlignment.from_sequences(["x"], ["ATR"])
+        assert aln.states[0, 0] == AMBIGUOUS
+        idx = UNIVERSAL.codon_index
+        assert aln.ambiguity_sets[(0, 0)] == tuple(sorted([idx["ATA"], idx["ATG"]]))
+
+    def test_ambiguity_resolving_to_single_codon(self):
+        # TGR = {TGA (stop), TGG (Trp)} -> only TGG is sense.
+        aln = CodonAlignment.from_sequences(["x"], ["TGR"])
+        assert aln.states[0, 0] == UNIVERSAL.codon_index["TGG"]
+
+    def test_ambiguity_only_stops_rejected(self):
+        # TAR = {TAA, TAG}: both stops.
+        with pytest.raises(ValueError, match="stop"):
+            CodonAlignment.from_sequences(["x"], ["TAR"])
+
+    def test_rna_and_lowercase(self):
+        aln = CodonAlignment.from_sequences(["x"], ["augUUU"])
+        idx = UNIVERSAL.codon_index
+        assert aln.states[0, 0] == idx["ATG"]
+        assert aln.states[0, 1] == idx["TTT"]
+
+    def test_stop_codon_raises_by_default(self):
+        with pytest.raises(ValueError, match="stop codon 'TAA'"):
+            CodonAlignment.from_sequences(["x"], ["TAA"])
+
+    def test_stop_codon_maskable(self):
+        aln = CodonAlignment.from_sequences(["x"], ["TAA"], on_stop="missing")
+        assert aln.states[0, 0] == MISSING
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError, match="unknown nucleotide"):
+            CodonAlignment.from_sequences(["x"], ["AT!"])
+
+
+class TestValidation:
+    def test_unequal_lengths(self):
+        with pytest.raises(ValueError, match="unequal"):
+            CodonAlignment.from_sequences(["x", "y"], ["ATG", "ATGTTT"])
+
+    def test_frame(self):
+        with pytest.raises(ValueError, match="multiple of 3"):
+            CodonAlignment.from_sequences(["x"], ["ATGA"])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CodonAlignment.from_sequences(["x", "x"], ["ATG", "ATG"])
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            CodonAlignment.from_sequences(["x"], ["ATG", "CCC"])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            CodonAlignment.from_sequences([], [])
+
+    def test_bad_on_stop(self):
+        with pytest.raises(ValueError, match="on_stop"):
+            CodonAlignment.from_sequences(["x"], ["ATG"], on_stop="explode")
+
+
+class TestLeafClv:
+    def test_exact_state_indicator(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATG"])
+        clv = aln.leaf_clv(0, 0)
+        assert clv.sum() == 1.0
+        assert clv[UNIVERSAL.codon_index["ATG"]] == 1.0
+
+    def test_missing_all_ones(self):
+        aln = CodonAlignment.from_sequences(["x"], ["---"])
+        assert np.all(aln.leaf_clv(0, 0) == 1.0)
+
+    def test_ambiguous_indicator_set(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATR"])
+        clv = aln.leaf_clv(0, 0)
+        assert clv.sum() == 2.0
+
+
+class TestRoundTripAndViews:
+    def test_to_sequences_roundtrip(self):
+        seqs = ["ATGTTTCCC", "ATG---AAA"]
+        aln = CodonAlignment.from_sequences(["x", "y"], seqs)
+        assert aln.to_sequences() == seqs
+
+    def test_row_lookup(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATG", "CCC"])
+        assert aln.row("y") == 1
+        with pytest.raises(KeyError):
+            aln.row("z")
+
+    def test_subset_taxa_reorders(self):
+        aln = CodonAlignment.from_sequences(["x", "y", "z"], ["ATG", "CCC", "ATR"])
+        sub = aln.subset_taxa(["z", "x"])
+        assert sub.names == ["z", "x"]
+        assert sub.states[0, 0] == AMBIGUOUS
+        assert (0, 0) in sub.ambiguity_sets
+
+    def test_drop_incomplete_columns(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATG---CCC", "ATGTTTNNN"])
+        clean = aln.drop_incomplete_columns()
+        assert clean.n_codons == 1
+        assert clean.states[0, 0] == UNIVERSAL.codon_index["ATG"]

@@ -1,0 +1,121 @@
+"""Newick parsing/writing, PAML marks, and error reporting."""
+
+import pytest
+
+from repro.trees.newick import NewickError, parse_newick, write_newick
+
+
+class TestParseBasics:
+    def test_simple_unrooted(self):
+        tree = parse_newick("(A:0.1,B:0.2,C:0.3);")
+        assert tree.n_leaves == 3
+        assert tree.n_branches == 3
+        assert sorted(tree.leaf_names()) == ["A", "B", "C"]
+
+    def test_nested(self):
+        tree = parse_newick("((A:0.1,B:0.2):0.05,C:0.3,D:0.4);")
+        assert tree.n_leaves == 4
+        assert tree.n_branches == 5
+
+    def test_lengths(self):
+        tree = parse_newick("(A:0.125,B:2e-3,C:1.5E2);")
+        lengths = sorted(n.length for n in tree.leaves)
+        assert lengths == [0.002, 0.125, 150.0]
+
+    def test_missing_lengths_default_zero(self):
+        tree = parse_newick("(A,B,C);")
+        assert all(n.length == 0.0 for n in tree.leaves)
+
+    def test_internal_names(self):
+        tree = parse_newick("((A,B)AB:0.1,C,D);")
+        assert tree.find("AB").length == pytest.approx(0.1)
+
+    def test_quoted_labels(self):
+        tree = parse_newick("('Homo sapiens':0.1,B:0.2,C:0.3);")
+        assert "Homo sapiens" in tree.leaf_names()
+
+    def test_comments_skipped(self):
+        tree = parse_newick("[&R] (A:0.1, [note] B:0.2, C:0.3);")
+        assert tree.n_leaves == 3
+
+    def test_whitespace_tolerant(self):
+        tree = parse_newick("  ( A : 0.1 ,\n B : 0.2 , C : 0.3 ) ;  ")
+        assert tree.n_leaves == 3
+
+
+class TestPamlMarks:
+    def test_hash_mark_after_length(self):
+        tree = parse_newick("((A:0.1,B:0.2):0.05 #1,C:0.3,D:0.4);")
+        fg = tree.foreground_nodes()
+        assert len(fg) == 1 and not fg[0].is_leaf
+
+    def test_hash_mark_before_length(self):
+        tree = parse_newick("((A:0.1,B:0.2)#1:0.05,C:0.3,D:0.4);")
+        assert len(tree.foreground_nodes()) == 1
+
+    def test_hash_zero_is_background(self):
+        tree = parse_newick("(A:0.1 #0,B:0.2,C:0.3);")
+        assert tree.foreground_nodes() == []
+
+    def test_leaf_mark(self):
+        tree = parse_newick("(A:0.1 #1,B:0.2,C:0.3);")
+        assert tree.foreground_nodes()[0].name == "A"
+
+    def test_clade_mark_expands(self):
+        tree = parse_newick("((A:0.1,B:0.2)$1:0.05,C:0.3,D:0.4);")
+        # Stem + both leaves inside.
+        assert len(tree.foreground_nodes()) == 3
+
+    def test_duplicate_mark_rejected(self):
+        with pytest.raises(NewickError, match="duplicate branch mark"):
+            parse_newick("(A:0.1 #1 #1,B:0.2,C:0.3);")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("(A,B,C)", "missing terminating"),
+            ("(A,B,C); trailing", "trailing characters"),
+            ("(A,B,C;", "expected"),
+            ("(A:,B,C);", "invalid number"),
+            ("(A:-0.5,B,C);", "negative branch length"),
+            ("(A,B,C) [unclosed;", "unterminated"),
+            ("((,),A);", "taxon label"),
+        ],
+    )
+    def test_malformed(self, text, fragment):
+        with pytest.raises(NewickError, match=fragment):
+            parse_newick(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_newick("(A:bad,B,C);")
+        except NewickError as err:
+            assert err.position >= 3
+        else:
+            pytest.fail("expected NewickError")
+
+    def test_duplicate_leaf_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate leaf names"):
+            parse_newick("(A:0.1,A:0.2,C:0.3);")
+
+
+class TestWrite:
+    def test_roundtrip_topology_and_lengths(self):
+        text = "((A:0.1,B:0.2):0.05 #1,(C:0.3,D:0.1):0.02,E:0.4);"
+        tree = parse_newick(text)
+        again = parse_newick(write_newick(tree))
+        assert sorted(again.leaf_names()) == sorted(tree.leaf_names())
+        assert again.n_branches == tree.n_branches
+        assert len(again.foreground_nodes()) == 1
+        assert again.total_tree_length() == pytest.approx(tree.total_tree_length())
+
+    def test_write_without_lengths(self):
+        tree = parse_newick("(A:0.1,B:0.2,C:0.3);")
+        out = write_newick(tree, lengths=False)
+        assert ":" not in out
+
+    def test_write_without_marks(self):
+        tree = parse_newick("(A:0.1 #1,B:0.2,C:0.3);")
+        assert "#" not in write_newick(tree, marks=False)

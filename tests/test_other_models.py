@@ -1,0 +1,77 @@
+"""M0 and the site models M1a/M2a (the §V-B extension models)."""
+
+import numpy as np
+import pytest
+
+from repro.models.m0 import M0Model
+from repro.models.sites import M1aModel, M2aModel
+
+ALL_MODELS = [M0Model(), M1aModel(), M2aModel()]
+
+
+class TestM0:
+    def test_single_class(self):
+        m = M0Model()
+        classes = m.site_classes({"kappa": 2.0, "omega": 0.7})
+        assert len(classes) == 1
+        assert classes[0].proportion == 1.0
+        assert classes[0].omega_background == classes[0].omega_foreground == 0.7
+
+    def test_roundtrip(self):
+        M0Model().check_roundtrip({"kappa": 3.3, "omega": 1.8})
+
+    def test_omega_above_one_allowed(self):
+        v = M0Model().unpack(np.array([0.5, 2.0]))
+        assert v["omega"] > 1.0
+
+
+class TestM1a:
+    def test_two_classes(self):
+        m = M1aModel()
+        classes = m.site_classes({"kappa": 2.0, "omega0": 0.2, "p0": 0.7})
+        assert [c.label for c in classes] == ["0", "1"]
+        assert classes[0].proportion == pytest.approx(0.7)
+        assert classes[1].omega_background == 1.0
+
+    def test_roundtrip(self):
+        M1aModel().check_roundtrip({"kappa": 2.0, "omega0": 0.45, "p0": 0.61})
+
+    def test_no_branch_heterogeneity(self):
+        classes = M1aModel().site_classes({"kappa": 2.0, "omega0": 0.2, "p0": 0.7})
+        assert all(c.omega_background == c.omega_foreground for c in classes)
+
+
+class TestM2a:
+    def test_three_classes(self):
+        m = M2aModel()
+        v = {"kappa": 2.0, "omega0": 0.2, "omega2": 3.0, "p0": 0.6, "p1": 0.3}
+        classes = m.site_classes(v)
+        assert [c.label for c in classes] == ["0", "1", "2"]
+        assert classes[2].proportion == pytest.approx(0.1)
+        assert classes[2].omega_background == 3.0
+
+    def test_roundtrip(self):
+        M2aModel().check_roundtrip(
+            {"kappa": 2.0, "omega0": 0.2, "omega2": 3.0, "p0": 0.6, "p1": 0.3}
+        )
+
+    def test_omega2_above_one(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            v = M2aModel().unpack(rng.normal(scale=4, size=5))
+            assert v["omega2"] > 1.0
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+class TestCommonContract:
+    def test_default_start_roundtrips(self, model):
+        model.check_roundtrip(model.default_start())
+
+    def test_seeded_start_reproducible(self, model):
+        assert model.default_start(rng=7) == model.default_start(rng=7)
+
+    def test_proportions_sum_to_one(self, model):
+        assert model.proportions(model.default_start()).sum() == pytest.approx(1.0)
+
+    def test_pack_length_matches_params(self, model):
+        assert model.pack(model.default_start()).shape == (model.n_params,)

@@ -1,0 +1,115 @@
+"""Alignment file format parsers and writers."""
+
+import pytest
+
+from repro.alignment.msa import CodonAlignment
+from repro.alignment.parsers import (
+    parse_fasta_text,
+    parse_phylip_text,
+    read_alignment,
+    write_fasta,
+    write_phylip,
+)
+
+
+class TestFasta:
+    def test_basic(self):
+        names, seqs = parse_fasta_text(">a\nATGTTT\n>b\nATGCCC\n")
+        assert names == ["a", "b"]
+        assert seqs == ["ATGTTT", "ATGCCC"]
+
+    def test_wrapped_sequences(self):
+        names, seqs = parse_fasta_text(">a\nATG\nTTT\nCCC\n")
+        assert seqs == ["ATGTTTCCC"]
+
+    def test_header_description_dropped(self):
+        names, _ = parse_fasta_text(">gene1 Homo sapiens BRCA1\nATG\n")
+        assert names == ["gene1"]
+
+    def test_blank_lines_skipped(self):
+        names, seqs = parse_fasta_text("\n>a\n\nATG\n\n>b\nCCC\n\n")
+        assert names == ["a", "b"] and seqs == ["ATG", "CCC"]
+
+    def test_data_before_header(self):
+        with pytest.raises(ValueError, match="before any FASTA header"):
+            parse_fasta_text("ATG\n>a\nCCC\n")
+
+    def test_empty_header(self):
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            parse_fasta_text(">\nATG\n")
+
+    def test_no_records(self):
+        with pytest.raises(ValueError, match="no FASTA records"):
+            parse_fasta_text("")
+
+
+class TestPhylip:
+    def test_sequential_one_line(self):
+        text = " 2 6\nalpha  ATGTTT\nbeta   ATGCCC\n"
+        names, seqs = parse_phylip_text(text)
+        assert names == ["alpha", "beta"]
+        assert seqs == ["ATGTTT", "ATGCCC"]
+
+    def test_spaces_in_sequence(self):
+        text = " 2 6\nalpha  ATG TTT\nbeta   ATG CCC\n"
+        _, seqs = parse_phylip_text(text)
+        assert seqs == ["ATGTTT", "ATGCCC"]
+
+    def test_interleaved(self):
+        text = " 2 12\nalpha  ATGTTT\nbeta   ATGCCC\nAAAAAA\nGGGGGG\n"
+        names, seqs = parse_phylip_text(text)
+        assert seqs == ["ATGTTTAAAAAA", "ATGCCCGGGGGG"]
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="bad PHYLIP header"):
+            parse_phylip_text("hello world\n")
+        with pytest.raises(ValueError, match="counts must be integers"):
+            parse_phylip_text("two six\nalpha ATGTTT\n")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="header promised"):
+            parse_phylip_text(" 1 9\nalpha ATGTTT\n")
+
+    def test_truncated(self):
+        with pytest.raises(ValueError, match="ended before"):
+            parse_phylip_text(" 3 6\nalpha ATGTTT\n")
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_phylip_text("   \n")
+
+
+class TestRoundTrips:
+    @pytest.fixture
+    def alignment(self):
+        return CodonAlignment.from_sequences(
+            ["alpha", "beta", "gamma"], ["ATGTTTCCC", "ATG---CCC", "ATGTTTAAA"]
+        )
+
+    def test_phylip_roundtrip(self, alignment, tmp_path):
+        path = tmp_path / "aln.phy"
+        write_phylip(alignment, path)
+        again = read_alignment(path)
+        assert again.names == alignment.names
+        assert again.to_sequences() == alignment.to_sequences()
+
+    def test_fasta_roundtrip(self, alignment, tmp_path):
+        path = tmp_path / "aln.fa"
+        write_fasta(alignment, path)
+        again = read_alignment(path)
+        assert again.names == alignment.names
+        assert again.to_sequences() == alignment.to_sequences()
+
+    def test_fasta_wrapping(self, alignment, tmp_path):
+        path = tmp_path / "aln.fa"
+        write_fasta(alignment, path, width=4)
+        content = path.read_text()
+        body_lines = [l for l in content.splitlines() if not l.startswith(">")]
+        assert max(len(l) for l in body_lines) <= 4
+        assert read_alignment(path).to_sequences() == alignment.to_sequences()
+
+    def test_sniffing(self, alignment, tmp_path):
+        fasta, phylip = tmp_path / "a.fa", tmp_path / "a.phy"
+        write_fasta(alignment, fasta)
+        write_phylip(alignment, phylip)
+        assert read_alignment(fasta).names == read_alignment(phylip).names

@@ -1,0 +1,87 @@
+"""Site-pattern compression invariants."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import CodonAlignment
+from repro.alignment.patterns import PatternAlignment, compress_patterns
+
+
+class TestCompression:
+    def test_identical_columns_collapse(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATGATGTTT", "CCCCCCAAA"])
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 2
+        assert pat.n_sites == 3
+        assert pat.weights.tolist() == [2.0, 1.0]
+
+    def test_all_unique(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATGTTTCCC"])
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 3
+        assert np.all(pat.weights == 1.0)
+
+    def test_site_to_pattern_mapping(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATGTTTATG", "CCCAAACCC"])
+        pat = compress_patterns(aln)
+        assert pat.site_to_pattern.tolist() == [0, 1, 0]
+
+    def test_first_occurrence_order(self):
+        aln = CodonAlignment.from_sequences(["x"], ["TTTATGTTT"])
+        pat = compress_patterns(aln)
+        # Pattern 0 is TTT (first seen), pattern 1 is ATG.
+        assert pat.site_to_pattern.tolist() == [0, 1, 0]
+
+    def test_weights_sum_to_site_count(self):
+        aln = CodonAlignment.from_sequences(
+            ["x", "y", "z"],
+            ["ATGATGTTTATG", "ATGATGCCCATG", "ATGCCCTTTATG"],
+        )
+        pat = compress_patterns(aln)
+        assert pat.weights.sum() == aln.n_codons
+
+    def test_missing_distinguished_from_state(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATG---", "CCCCCC"])
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 2
+
+    def test_ambiguity_content_distinguishes_patterns(self):
+        # ATR = {ATA, ATG}; ATW = {ATA, ATT}: same AMBIGUOUS code but
+        # different compatible sets -> must not merge.
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATRATW", "ATGATG"])
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 2
+
+    def test_identical_ambiguity_merges(self):
+        aln = CodonAlignment.from_sequences(["x", "y"], ["ATRATR", "ATGATG"])
+        pat = compress_patterns(aln)
+        assert pat.n_patterns == 1
+        assert pat.weights.tolist() == [2.0]
+        # Ambiguity carried over into the compressed alignment.
+        assert (0, 0) in pat.alignment.ambiguity_sets
+
+    def test_expand(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATGTTTATG"])
+        pat = compress_patterns(aln)
+        per_pattern = np.array([10.0, 20.0])
+        assert pat.expand(per_pattern).tolist() == [10.0, 20.0, 10.0]
+
+    def test_expand_2d(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATGTTTATG"])
+        pat = compress_patterns(aln)
+        per_pattern = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = pat.expand(per_pattern, axis=1)
+        assert out.shape == (2, 3)
+        assert out[:, 2].tolist() == [1.0, 3.0]
+
+
+class TestValidation:
+    def test_weight_shape_checked(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATGTTT"])
+        with pytest.raises(ValueError, match="weights length"):
+            PatternAlignment(aln, np.array([1.0]), np.array([0, 1]))
+
+    def test_weight_sum_checked(self):
+        aln = CodonAlignment.from_sequences(["x"], ["ATGTTT"])
+        with pytest.raises(ValueError, match="do not sum"):
+            PatternAlignment(aln, np.array([1.0, 2.0]), np.array([0, 1]))

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core mathematical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.msa import CodonAlignment
+from repro.alignment.patterns import compress_patterns
+from repro.codon.genetic_code import UNIVERSAL
+from repro.codon.matrix import build_rate_matrix
+from repro.core.eigen import decompose
+from repro.core.expm import transition_matrix_syrk
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.models.parameters import simplex_pack, simplex_unpack
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.simulate import simulate_yule_tree
+from repro.utils.numerics import logsumexp_weighted
+
+# Reusable strategies -------------------------------------------------------
+
+kappas = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+omegas = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+branch_lengths = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+_slow = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _dirichlet_pi(seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).dirichlet(np.full(61, 5.0))
+
+
+class TestTransitionMatrixProperties:
+    @_slow
+    @given(kappa=kappas, omega=omegas, t=branch_lengths, seed=seeds)
+    def test_p_is_stochastic(self, kappa, omega, t, seed):
+        pi = _dirichlet_pi(seed)
+        decomp = decompose(build_rate_matrix(kappa, omega, pi))
+        p = transition_matrix_syrk(decomp, t)
+        assert np.all(p >= 0)
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-9)
+
+    @_slow
+    @given(kappa=kappas, omega=omegas, seed=seeds,
+           a=st.floats(min_value=0.0, max_value=1.5),
+           b=st.floats(min_value=0.0, max_value=1.5))
+    def test_chapman_kolmogorov(self, kappa, omega, seed, a, b):
+        pi = _dirichlet_pi(seed)
+        decomp = decompose(build_rate_matrix(kappa, omega, pi))
+        pa = transition_matrix_syrk(decomp, a, clip_negative=False)
+        pb = transition_matrix_syrk(decomp, b, clip_negative=False)
+        pab = transition_matrix_syrk(decomp, a + b, clip_negative=False)
+        assert np.allclose(pa @ pb, pab, atol=1e-9)
+
+    @_slow
+    @given(kappa=kappas, omega=omegas, t=branch_lengths, seed=seeds)
+    def test_detailed_balance_of_p(self, kappa, omega, t, seed):
+        pi = _dirichlet_pi(seed)
+        decomp = decompose(build_rate_matrix(kappa, omega, pi))
+        p = transition_matrix_syrk(decomp, t, clip_negative=False)
+        flux = pi[:, None] * p
+        assert np.allclose(flux, flux.T, atol=1e-10)
+
+    @_slow
+    @given(kappa=kappas, omega=omegas, seed=seeds)
+    def test_stationarity(self, kappa, omega, seed):
+        # pi P(t) = pi for every t.
+        pi = _dirichlet_pi(seed)
+        decomp = decompose(build_rate_matrix(kappa, omega, pi))
+        p = transition_matrix_syrk(decomp, 0.7, clip_negative=False)
+        assert np.allclose(pi @ p, pi, atol=1e-10)
+
+
+class TestModelTransformProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.lists(st.floats(min_value=-25, max_value=25), min_size=5, max_size=5))
+    def test_h1_unpack_pack_identity(self, x):
+        model = BranchSiteModelA()
+        values = model.unpack(np.array(x))
+        back = model.unpack(model.pack(values))
+        for key in values:
+            assert back[key] == pytest.approx(values[key], rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        p0=st.floats(min_value=1e-4, max_value=0.99),
+        p1=st.floats(min_value=1e-4, max_value=0.99),
+    )
+    def test_simplex_roundtrip(self, p0, p1):
+        total = p0 + p1
+        if total >= 0.999:  # renormalise into the open simplex
+            p0, p1 = 0.95 * p0 / total, 0.95 * p1 / total
+        back = simplex_unpack(*simplex_pack(p0, p1))
+        assert back[0] == pytest.approx(p0, rel=1e-6)
+        assert back[1] == pytest.approx(p1, rel=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=st.lists(st.floats(min_value=-30, max_value=30), min_size=5, max_size=5))
+    def test_site_class_proportions_always_simplex(self, x):
+        model = BranchSiteModelA()
+        values = model.unpack(np.array(x))
+        props = model.proportions(values)
+        assert np.all(props >= 0)
+        assert props.sum() == pytest.approx(1.0)
+
+
+class TestNewickProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=3, max_value=40), seed=seeds)
+    def test_parse_write_roundtrip(self, n, seed):
+        tree = simulate_yule_tree(n, seed=seed)
+        again = parse_newick(write_newick(tree))
+        assert sorted(again.leaf_names()) == sorted(tree.leaf_names())
+        assert again.n_branches == tree.n_branches
+        assert again.total_tree_length() == pytest.approx(
+            tree.total_tree_length(), rel=1e-4
+        )
+
+
+class TestPatternCompressionProperties:
+    @_slow
+    @given(seed=seeds, n_codons=st.integers(min_value=1, max_value=60))
+    def test_likelihood_invariant_under_compression(self, seed, n_codons):
+        # Compressing patterns must not change the total lnL.
+        from repro.core.engine import make_engine
+
+        rng = np.random.default_rng(seed)
+        tree = simulate_yule_tree(4, seed=rng)
+        model = M0Model()
+        values = {"kappa": 2.0, "omega": 0.5}
+        from repro.alignment.simulate import simulate_alignment
+
+        sim = simulate_alignment(tree, model, values, n_codons=n_codons, seed=rng)
+        pi = np.full(61, 1 / 61)
+        bound = make_engine("slim").bind(tree, sim.alignment, model, pi=pi)
+        lnl_compressed = bound.log_likelihood(values)
+
+        # Force a degenerate "no compression" by evaluating per-site sums:
+        per_site_total = 0.0
+        for col in range(sim.alignment.n_codons):
+            single = CodonAlignment(
+                names=list(sim.alignment.names),
+                states=sim.alignment.states[:, [col]].copy(),
+                code=sim.alignment.code,
+            )
+            b1 = make_engine("slim").bind(tree, single, model, pi=pi)
+            per_site_total += b1.log_likelihood(values)
+        assert lnl_compressed == pytest.approx(per_site_total, abs=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_weights_partition_sites(self, seed):
+        rng = np.random.default_rng(seed)
+        states = rng.integers(0, 61, size=(3, 25)).astype(np.int32)
+        aln = CodonAlignment(names=["a", "b", "c"], states=states, code=UNIVERSAL)
+        pat = compress_patterns(aln)
+        assert pat.weights.sum() == 25
+        # Every site maps to a pattern identical to its own column.
+        for site in range(25):
+            p = pat.site_to_pattern[site]
+            assert np.array_equal(pat.alignment.states[:, p], states[:, site])
+
+
+class TestLogsumexpProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        logs=st.lists(st.floats(min_value=-500, max_value=0), min_size=2, max_size=6),
+        seed=seeds,
+    )
+    def test_matches_naive_when_safe(self, logs, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.dirichlet(np.ones(len(logs)))
+        lv = np.array(logs)[:, None]
+        ours = logsumexp_weighted(lv, w)[0]
+        naive = np.log(np.sum(w * np.exp(np.array(logs))))
+        if np.isfinite(naive):
+            assert ours == pytest.approx(naive, rel=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(shift=st.floats(min_value=-200, max_value=200))
+    def test_shift_equivariance(self, shift):
+        lv = np.array([[-3.0], [-1.0]])
+        w = np.array([0.4, 0.6])
+        assert logsumexp_weighted(lv + shift, w)[0] == pytest.approx(
+            logsumexp_weighted(lv, w)[0] + shift
+        )

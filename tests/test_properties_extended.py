@@ -1,0 +1,159 @@
+"""Second property-test wave: new substrates and cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.models.branch import TwoRatioModel
+from repro.models.m0 import M0Model
+from repro.models.sites import M1aModel, M2aModel
+from repro.trees.least_squares import least_squares_branch_lengths
+from repro.trees.prune import prune_to_taxa
+from repro.trees.simulate import simulate_yule_tree
+from repro.trees.stats import patristic_distance_matrix
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+_slow = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestPruneProperties:
+    @_slow
+    @given(seed=seeds, n=st.integers(min_value=5, max_value=25),
+           k=st.integers(min_value=3, max_value=10))
+    def test_patristic_distances_invariant_under_pruning(self, seed, n, k):
+        k = min(k, n)
+        tree = simulate_yule_tree(n, seed=seed)
+        rng = np.random.default_rng(seed)
+        keep = list(rng.choice(tree.leaf_names(), size=k, replace=False))
+        pruned = prune_to_taxa(tree, keep)
+
+        full = patristic_distance_matrix(tree)
+        names = tree.leaf_names()
+        sub_expected = np.array(
+            [[full[names.index(a), names.index(b)] for b in pruned.leaf_names()]
+             for a in pruned.leaf_names()]
+        )
+        sub_actual = patristic_distance_matrix(pruned)
+        assert np.allclose(sub_actual, sub_expected, atol=1e-10)
+
+    @_slow
+    @given(seed=seeds, n=st.integers(min_value=5, max_value=20))
+    def test_pruned_tree_is_valid(self, seed, n):
+        tree = simulate_yule_tree(n, seed=seed)
+        keep = tree.leaf_names()[: max(3, n // 2)]
+        pruned = prune_to_taxa(tree, keep)
+        assert pruned.is_binary()
+        assert pruned.n_branches == 2 * len(keep) - 3
+        pruned.validate_branch_lengths()
+
+
+class TestLeastSquaresProperties:
+    @_slow
+    @given(seed=seeds, n=st.integers(min_value=4, max_value=15))
+    def test_exact_on_additive_distances(self, seed, n):
+        tree = simulate_yule_tree(n, seed=seed)
+        dist = patristic_distance_matrix(tree)
+        recovered = least_squares_branch_lengths(tree, dist)
+        assert np.allclose(recovered, np.maximum(tree.branch_lengths(), 1e-6), atol=1e-7)
+
+    @_slow
+    @given(seed=seeds, scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_equivariance(self, seed, scale):
+        tree = simulate_yule_tree(7, seed=seed)
+        dist = patristic_distance_matrix(tree)
+        base = least_squares_branch_lengths(tree, dist)
+        scaled = least_squares_branch_lengths(tree, scale * dist)
+        assert np.allclose(scaled, np.maximum(scale * base, 1e-6), rtol=1e-6, atol=1e-6)
+
+
+class TestModelTransformsExtended:
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.lists(st.floats(min_value=-25, max_value=25), min_size=3, max_size=3))
+    def test_two_ratio_unpack_valid(self, x):
+        model = TwoRatioModel()
+        values = model.unpack(np.array(x))
+        assert values["kappa"] > 0
+        assert values["omega_background"] > 0
+        assert values["omega_foreground"] > 0
+        model.check_roundtrip(values, atol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.lists(st.floats(min_value=-25, max_value=25), min_size=5, max_size=5))
+    def test_m2a_proportions_simplex(self, x):
+        model = M2aModel()
+        values = model.unpack(np.array(x))
+        props = model.proportions(values)
+        assert np.all(props >= 0) and props.sum() == pytest.approx(1.0)
+        assert values["omega2"] >= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=st.lists(st.floats(min_value=-25, max_value=25), min_size=3, max_size=3))
+    def test_m1a_roundtrip(self, x):
+        model = M1aModel()
+        values = model.unpack(np.array(x))
+        model.check_roundtrip(values, atol=1e-6)
+
+
+class TestNg86Properties:
+    @_slow
+    @given(seed=seeds)
+    def test_symmetry_in_sequence_order(self, seed):
+        from repro.alignment.distances import nei_gojobori
+        from repro.alignment.msa import CodonAlignment
+
+        rng = np.random.default_rng(seed)
+        states = rng.integers(0, 61, size=(2, 30)).astype(np.int32)
+        aln = CodonAlignment(names=["a", "b"], states=states)
+        fwd = nei_gojobori(aln, 0, 1)
+        rev = nei_gojobori(aln, 1, 0)
+        assert fwd.ds == pytest.approx(rev.ds)
+        assert fwd.dn == pytest.approx(rev.dn)
+
+    @_slow
+    @given(seed=seeds)
+    def test_weighted_equals_expanded(self, seed):
+        from repro.alignment.distances import nei_gojobori
+        from repro.alignment.msa import CodonAlignment
+        from repro.alignment.patterns import compress_patterns
+
+        rng = np.random.default_rng(seed)
+        # Few distinct columns so compression actually bites.
+        base = rng.integers(0, 61, size=(2, 4)).astype(np.int32)
+        cols = rng.integers(0, 4, size=25)
+        states = base[:, cols]
+        aln = CodonAlignment(names=["a", "b"], states=states)
+        pat = compress_patterns(aln)
+        direct = nei_gojobori(aln, 0, 1)
+        weighted = nei_gojobori(pat.alignment, 0, 1, column_weights=pat.weights)
+        assert weighted.ds == pytest.approx(direct.ds, abs=1e-12)
+        assert weighted.dn == pytest.approx(direct.dn, abs=1e-12)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lnl=st.floats(min_value=-1e8, max_value=0, allow_nan=False),
+        iters=st.integers(min_value=0, max_value=10_000),
+        lengths=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=20),
+    )
+    def test_fit_roundtrip_arbitrary_values(self, lnl, iters, lengths):
+        from repro.io.results_io import fit_from_dict, fit_to_dict
+        from repro.optimize.ml import FitResult
+
+        fit = FitResult(
+            model_name="m",
+            engine_name="slim",
+            lnl=lnl,
+            values={"kappa": 2.0},
+            branch_lengths=np.array(lengths),
+            n_iterations=iters,
+            n_evaluations=iters * 3,
+            runtime_seconds=1.0,
+            converged=True,
+            message="ok",
+        )
+        back = fit_from_dict(fit_to_dict(fit))
+        assert back.lnl == fit.lnl
+        assert np.array_equal(back.branch_lengths, fit.branch_lengths)

@@ -1,0 +1,129 @@
+"""Tree pruning to taxon subsets (the Fig. 3 subsampling operation)."""
+
+import pytest
+
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.prune import prune_to_taxa
+from repro.trees.simulate import simulate_yule_tree
+
+
+@pytest.fixture
+def tree():
+    return parse_newick(
+        "(((A:0.1,B:0.2):0.05,C:0.3):0.07 #1,(D:0.15,E:0.25):0.02,F:0.4);"
+    )
+
+
+def _patristic(tree, a, b):
+    """Leaf-to-leaf path length via parent chains."""
+    def ancestors(node):
+        chain = []
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    pa, pb = ancestors(tree.find(a)), ancestors(tree.find(b))
+    ids_b = {id(n): i for i, n in enumerate(pb)}
+    for i, node in enumerate(pa):
+        if id(node) in ids_b:
+            dist = sum(n.length for n in pa[:i]) + sum(n.length for n in pb[: ids_b[id(node)]])
+            return dist
+    raise AssertionError("no common ancestor")
+
+
+class TestBasics:
+    def test_keeps_requested_taxa(self, tree):
+        pruned = prune_to_taxa(tree, ["A", "C", "F"])
+        assert sorted(pruned.leaf_names()) == ["A", "C", "F"]
+
+    def test_result_is_unrooted_binary(self, tree):
+        pruned = prune_to_taxa(tree, ["A", "B", "D", "F"])
+        assert pruned.is_binary()
+        assert pruned.n_branches == 2 * 4 - 3
+
+    def test_original_untouched(self, tree):
+        before = write_newick(tree)
+        prune_to_taxa(tree, ["A", "C", "F"])
+        assert write_newick(tree) == before
+
+    def test_patristic_distances_preserved(self, tree):
+        keep = ["A", "C", "E", "F"]
+        pruned = prune_to_taxa(tree, keep)
+        for i, a in enumerate(keep):
+            for b in keep[i + 1 :]:
+                assert _patristic(pruned, a, b) == pytest.approx(
+                    _patristic(tree, a, b), abs=1e-12
+                )
+
+    def test_two_taxa(self, tree):
+        pruned = prune_to_taxa(tree, ["A", "F"])
+        assert sorted(pruned.leaf_names()) == ["A", "F"]
+        assert _patristic(pruned, "A", "F") == pytest.approx(_patristic(tree, "A", "F"))
+
+
+class TestForegroundMarks:
+    def test_mark_survives_when_split_remains(self, tree):
+        # fg is the stem of (A,B,C); keeping A and D preserves the split.
+        pruned = prune_to_taxa(tree, ["A", "D", "F"])
+        assert len(pruned.foreground_nodes()) == 1
+
+    def test_mark_absorbed_into_merged_branch(self, tree):
+        # Keeping only A on the foreground side: the stem merges into A's
+        # terminal branch, which inherits the mark.
+        pruned = prune_to_taxa(tree, ["A", "D"])
+        fg = pruned.foreground_nodes()
+        assert len(fg) == 1
+        assert fg[0].name == "A"
+
+    def test_mark_disappears_with_its_clade(self, tree):
+        pruned = prune_to_taxa(tree, ["D", "E", "F"])
+        assert pruned.foreground_nodes() == []
+
+
+class TestValidation:
+    def test_unknown_taxon(self, tree):
+        with pytest.raises(ValueError, match="not in tree"):
+            prune_to_taxa(tree, ["A", "Z"])
+
+    def test_duplicates(self, tree):
+        with pytest.raises(ValueError, match="duplicate"):
+            prune_to_taxa(tree, ["A", "A"])
+
+    def test_too_few(self, tree):
+        with pytest.raises(ValueError, match="at least two"):
+            prune_to_taxa(tree, ["A"])
+
+
+class TestLikelihoodConsistency:
+    def test_pruning_equals_missing_data(self):
+        """Dropping taxa must equal marking them missing (Felsenstein)."""
+        import numpy as np
+
+        from repro.alignment.msa import CodonAlignment
+        from repro.alignment.simulate import simulate_alignment
+        from repro.core.engine import make_engine
+        from repro.models.m0 import M0Model
+
+        tree = simulate_yule_tree(6, seed=3, mean_branch_length=0.15)
+        values = {"kappa": 2.0, "omega": 0.5}
+        sim = simulate_alignment(tree, M0Model(), values, 40, seed=4)
+        pi = np.full(61, 1 / 61)
+
+        keep = tree.leaf_names()[:4]
+        pruned = prune_to_taxa(tree, keep)
+        sub_aln = sim.alignment.subset_taxa(keep)
+        lnl_pruned = (
+            make_engine("slim").bind(pruned, sub_aln, M0Model(), pi=pi).log_likelihood(values)
+        )
+
+        # Same computation with the dropped taxa replaced by gap rows.
+        seqs = dict(zip(sim.alignment.names, sim.alignment.to_sequences()))
+        for name in tree.leaf_names():
+            if name not in keep:
+                seqs[name] = "-" * (sim.alignment.n_codons * 3)
+        masked = CodonAlignment.from_sequences(list(seqs), list(seqs.values()))
+        lnl_masked = (
+            make_engine("slim").bind(tree, masked, M0Model(), pi=pi).log_likelihood(values)
+        )
+        assert lnl_pruned == pytest.approx(lnl_masked, abs=1e-8)

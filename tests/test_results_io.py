@@ -1,0 +1,115 @@
+"""JSON result serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.results_io import (
+    SCHEMA_VERSION,
+    fit_from_dict,
+    fit_to_dict,
+    read_json_result,
+    branch_site_test_from_dict,
+    branch_site_test_to_dict,
+    write_json_result,
+)
+from repro.optimize.lrt import likelihood_ratio_test
+from repro.optimize.ml import BranchSiteTest, FitResult
+
+
+@pytest.fixture
+def fit():
+    return FitResult(
+        model_name="branch-site model A (H1)",
+        engine_name="slim",
+        lnl=-1234.567890123,
+        values={"kappa": 2.5, "omega0": 0.3, "omega2": 4.0, "p0": 0.5, "p1": 0.3},
+        branch_lengths=np.array([0.1, 0.2, 0.3]),
+        n_iterations=42,
+        n_evaluations=731,
+        runtime_seconds=12.5,
+        converged=True,
+        message="gradient norm small",
+    )
+
+
+@pytest.fixture
+def bstest(fit):
+    h0 = FitResult(
+        model_name="branch-site model A (H0, omega2=1)",
+        engine_name="slim",
+        lnl=-1240.0,
+        values={"kappa": 2.5, "omega0": 0.3, "p0": 0.5, "p1": 0.3},
+        branch_lengths=np.array([0.1, 0.2, 0.3]),
+        n_iterations=40,
+        n_evaluations=700,
+        runtime_seconds=11.0,
+        converged=True,
+        message="ok",
+    )
+    return BranchSiteTest(h0=h0, h1=fit, lrt=likelihood_ratio_test(-1240.0, fit.lnl))
+
+
+class TestFitRoundTrip:
+    def test_exact_roundtrip(self, fit):
+        back = fit_from_dict(fit_to_dict(fit))
+        assert back.lnl == fit.lnl
+        assert back.values == fit.values
+        assert np.array_equal(back.branch_lengths, fit.branch_lengths)
+        assert back.n_iterations == fit.n_iterations
+        assert back.converged is True
+
+    def test_json_serialisable(self, fit):
+        text = json.dumps(fit_to_dict(fit))
+        assert "branch-site" in text
+
+    def test_schema_checked(self, fit):
+        payload = fit_to_dict(fit)
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            fit_from_dict(payload)
+
+    def test_kind_checked(self, fit):
+        payload = fit_to_dict(fit)
+        payload["kind"] = "something_else"
+        with pytest.raises(ValueError, match="expected a 'fit'"):
+            fit_from_dict(payload)
+
+
+class TestTestRoundTrip:
+    def test_roundtrip(self, bstest):
+        back = branch_site_test_from_dict(branch_site_test_to_dict(bstest))
+        assert back.h0.lnl == bstest.h0.lnl
+        assert back.h1.lnl == bstest.h1.lnl
+        assert back.lrt.statistic == pytest.approx(bstest.lrt.statistic)
+        assert back.lrt.pvalue_chi2 == pytest.approx(bstest.lrt.pvalue_chi2)
+        assert back.combined_iterations == bstest.combined_iterations
+
+
+class TestFiles:
+    def test_write_read_fit(self, fit, tmp_path):
+        path = tmp_path / "fit.json"
+        write_json_result(path, fit)
+        back = read_json_result(path)
+        assert isinstance(back, FitResult)
+        assert back.lnl == fit.lnl
+
+    def test_write_read_test(self, bstest, tmp_path):
+        path = tmp_path / "test.json"
+        write_json_result(path, bstest)
+        back = read_json_result(path)
+        assert isinstance(back, BranchSiteTest)
+        assert back.lrt.df == 1
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, "kind": "mystery"}))
+        with pytest.raises(ValueError, match="unknown result kind"):
+            read_json_result(path)
+
+    def test_file_content_versioned(self, fit, tmp_path):
+        path = tmp_path / "fit.json"
+        write_json_result(path, fit)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION

@@ -1,0 +1,59 @@
+"""M1a vs M2a sites test (the §V-B model extension)."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.simulate import simulate_alignment
+from repro.core.engine import make_engine
+from repro.models.sites import M2aModel
+from repro.optimize.ml import fit_sites_test
+from repro.trees.newick import parse_newick
+
+TREE = "((A:0.3,B:0.3):0.2,(C:0.3,D:0.3):0.1,E:0.4);"
+
+
+@pytest.fixture(scope="module")
+def selected_sim():
+    tree = parse_newick(TREE)
+    truth = {"kappa": 2.0, "omega0": 0.05, "omega2": 6.0, "p0": 0.5, "p1": 0.25}
+    return tree, simulate_alignment(tree, M2aModel(), truth, n_codons=300, seed=13)
+
+
+class TestFitSitesTest:
+    @pytest.fixture(scope="class")
+    def result(self, selected_sim):
+        tree, sim = selected_sim
+        engine = make_engine("slim")
+        return fit_sites_test(
+            lambda m: engine.bind(tree, sim.alignment, m),
+            seed=1,
+            max_iterations=25,
+        )
+
+    def test_nesting(self, result):
+        assert result.m2a.lnl >= result.m1a.lnl - 1e-6
+
+    def test_detects_simulated_selection(self, result):
+        assert result.lrt.df == 2
+        assert result.lrt.statistic > 5.99  # chi2_2 5% critical value
+
+    def test_omega2_estimated_above_one(self, result):
+        assert result.m2a.values["omega2"] > 1.5
+
+    def test_summary(self, result):
+        text = result.summary()
+        assert "M1a" in text and "M2a" in text and "df=2" in text
+
+    def test_no_foreground_mark_needed(self, selected_sim):
+        # Site models ignore branch marks entirely; an unmarked tree works.
+        tree, sim = selected_sim
+        assert tree.foreground_nodes() == []
+
+    def test_engines_agree(self, selected_sim):
+        tree, sim = selected_sim
+        values = {"kappa": 2.0, "omega0": 0.1, "omega2": 4.0, "p0": 0.5, "p1": 0.3}
+        lnls = [
+            make_engine(name).bind(tree, sim.alignment, M2aModel()).log_likelihood(values)
+            for name in ("codeml", "slim", "slim-v2")
+        ]
+        assert np.allclose(lnls, lnls[0], rtol=1e-12)

@@ -1,0 +1,56 @@
+"""§IV-2 speedup formulas."""
+
+import pytest
+
+from repro.utils.speedups import combined_speedup, overall_speedup, per_iteration_speedup
+
+
+class TestOverall:
+    def test_basic_ratio(self):
+        # Paper's dataset iv: 52822 s -> 8298 s is the headline 6.4 combined;
+        # overall formula is the plain ratio.
+        assert overall_speedup(52822, 8298) == pytest.approx(6.37, abs=0.01)
+
+    def test_identity(self):
+        assert overall_speedup(10.0, 10.0) == 1.0
+
+    def test_slower_is_below_one(self):
+        assert overall_speedup(1.0, 2.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overall_speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            overall_speedup(1.0, -1.0)
+
+
+class TestPerIteration:
+    def test_normalises_by_iterations(self):
+        # Paper dataset iv H0: 52822 s / 1039 iters vs 8298 s / 509 iters
+        # (Table III): Si = (50.84) / (16.30) ≈ 3.1 (Table IV says 3.3
+        # for H0 alone; combined H0+H1 is 3.1).
+        si = per_iteration_speedup(52822, 1039, 8298, 509)
+        assert si == pytest.approx(3.12, abs=0.02)
+
+    def test_same_iterations_reduces_to_overall(self):
+        assert per_iteration_speedup(10.0, 7, 5.0, 7) == overall_speedup(10.0, 5.0)
+
+    def test_zero_iterations_treated_as_one(self):
+        assert per_iteration_speedup(2.0, 0, 1.0, 1) == 2.0
+
+    def test_iteration_advantage_discounted(self):
+        # The optimized code was faster overall partly via fewer
+        # iterations; Si removes that component.
+        so = overall_speedup(100.0, 25.0)
+        si = per_iteration_speedup(100.0, 100, 25.0, 50)
+        assert so == 4.0
+        assert si == 2.0
+
+
+class TestCombined:
+    def test_sum_of_hypotheses(self):
+        assert combined_speedup(30.0, 70.0, 10.0, 40.0) == 2.0
+
+    def test_paper_dataset_i(self):
+        # Table III dataset i: 85 s -> 43 s combined = 2.0 (Table IV).
+        assert combined_speedup(42.5, 42.5, 21.5, 21.5) == pytest.approx(1.98, abs=0.01)

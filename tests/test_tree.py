@@ -1,0 +1,169 @@
+"""Tree structure, indexing, traversal, and foreground bookkeeping."""
+
+import pytest
+
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Node, Tree
+
+
+@pytest.fixture
+def tree():
+    return parse_newick("((A:0.2,B:0.1):0.08,(C:0.15,D:0.12):0.05,E:0.3);")
+
+
+class TestIndexing:
+    def test_leaves_get_low_indices(self, tree):
+        assert [leaf.index for leaf in tree.leaves] == list(range(5))
+
+    def test_children_indexed_before_parents(self, tree):
+        for node in tree.nodes:
+            for child in node.children:
+                assert child.index < node.index
+
+    def test_root_is_last(self, tree):
+        assert tree.root.index == len(tree.nodes) - 1
+
+    def test_branch_count(self, tree):
+        assert tree.n_branches == 2 * tree.n_leaves - 3  # unrooted binary
+
+    def test_find(self, tree):
+        assert tree.find("C").is_leaf
+        with pytest.raises(KeyError):
+            tree.find("Z")
+
+    def test_unnamed_leaf_rejected(self):
+        root = Node()
+        root.add_child(Node(name="A"))
+        root.add_child(Node())
+        with pytest.raises(ValueError, match="named"):
+            Tree(root)
+
+    def test_duplicate_names_rejected(self):
+        root = Node()
+        root.add_child(Node(name="A"))
+        root.add_child(Node(name="A"))
+        with pytest.raises(ValueError, match="duplicate"):
+            Tree(root)
+
+    def test_root_with_parent_rejected(self):
+        parent = Node(name="P")
+        child = parent.add_child(Node(name="C"))
+        with pytest.raises(ValueError):
+            Tree(child)
+
+
+class TestTraversal:
+    def test_postorder_visits_all(self, tree):
+        visited = list(tree.postorder())
+        assert len(visited) == len(tree.nodes)
+        assert visited[-1] is tree.root
+
+    def test_preorder_starts_at_root(self, tree):
+        visited = list(tree.preorder())
+        assert visited[0] is tree.root
+        assert len(visited) == len(tree.nodes)
+
+    def test_postorder_children_first(self, tree):
+        seen = set()
+        for node in tree.postorder():
+            for child in node.children:
+                assert child.index in seen
+            seen.add(node.index)
+
+
+class TestBranchTable:
+    def test_rows_exclude_root(self, tree):
+        rows = tree.branch_table()
+        assert len(rows) == tree.n_branches
+        assert all(child != tree.root.index for child, *_ in rows)
+
+    def test_lengths_roundtrip(self, tree):
+        lengths = tree.branch_lengths()
+        doubled = [2 * t for t in lengths]
+        tree.set_branch_lengths(doubled)
+        assert tree.branch_lengths() == pytest.approx(doubled)
+
+    def test_set_lengths_validates(self, tree):
+        with pytest.raises(ValueError, match="expected"):
+            tree.set_branch_lengths([0.1])
+        with pytest.raises(ValueError, match="negative"):
+            tree.set_branch_lengths([-1.0] * tree.n_branches)
+
+    def test_total_length(self, tree):
+        assert tree.total_tree_length() == pytest.approx(0.2 + 0.1 + 0.08 + 0.15 + 0.12 + 0.05 + 0.3)
+
+    def test_validate_branch_lengths(self, tree):
+        tree.leaves[0].length = float("nan")
+        with pytest.raises(ValueError, match="invalid"):
+            tree.validate_branch_lengths()
+
+
+class TestForeground:
+    def test_mark_by_name(self, tree):
+        tree.mark_foreground("C")
+        assert tree.require_single_foreground().name == "C"
+
+    def test_mark_clears_previous(self, tree):
+        tree.mark_foreground("C")
+        tree.mark_foreground("E")
+        assert [n.name for n in tree.foreground_nodes()] == ["E"]
+
+    def test_mark_without_clear_accumulates(self, tree):
+        tree.mark_foreground("C")
+        tree.mark_foreground("E", clear=False)
+        assert len(tree.foreground_nodes()) == 2
+        with pytest.raises(ValueError, match="exactly one"):
+            tree.require_single_foreground()
+
+    def test_cannot_mark_root(self, tree):
+        with pytest.raises(ValueError, match="root"):
+            tree.mark_foreground(tree.root)
+
+    def test_no_mark_is_an_error_for_bsm(self, tree):
+        with pytest.raises(ValueError, match="exactly one"):
+            tree.require_single_foreground()
+
+
+class TestCopyAndUnroot:
+    def test_copy_is_deep(self, tree):
+        tree.mark_foreground("C")
+        dup = tree.copy()
+        dup.find("C").foreground = False
+        dup.find("A").length = 99.0
+        assert tree.find("C").foreground
+        assert tree.find("A").length == pytest.approx(0.2)
+
+    def test_copy_preserves_structure(self, tree):
+        dup = tree.copy()
+        assert dup.leaf_names() == tree.leaf_names()
+        assert dup.branch_lengths() == pytest.approx(tree.branch_lengths())
+
+    def test_unroot_merges_root_branches(self):
+        tree = parse_newick("((A:0.1,B:0.2):0.05,(C:0.3,D:0.1):0.15);")
+        total_before = tree.total_tree_length()
+        tree.unroot()
+        assert tree.n_branches == 5
+        assert len(tree.root.children) == 3
+        assert tree.total_tree_length() == pytest.approx(total_before)
+
+    def test_unroot_preserves_foreground(self):
+        tree = parse_newick("((A:0.1,B:0.2):0.05 #1,(C:0.3,D:0.1):0.15);")
+        tree.unroot()
+        assert len(tree.foreground_nodes()) == 1
+
+    def test_unroot_noop_on_trifurcation(self):
+        tree = parse_newick("(A:0.1,B:0.2,C:0.3);")
+        before = tree.n_branches
+        tree.unroot()
+        assert tree.n_branches == before
+
+    def test_unroot_two_leaf_tree_rejected(self):
+        tree = parse_newick("(A:0.1,B:0.2);")
+        with pytest.raises(ValueError, match="two-leaf"):
+            tree.unroot()
+
+    def test_is_binary(self, tree):
+        assert tree.is_binary()
+        tree.root.children[0].add_child(Node(name="X"))
+        tree._reindex()
+        assert not tree.is_binary()

@@ -1,0 +1,69 @@
+"""Yule tree simulation and random foreground selection."""
+
+import numpy as np
+import pytest
+
+from repro.trees.simulate import random_foreground, simulate_yule_tree
+
+
+class TestYule:
+    @pytest.mark.parametrize("n", [3, 5, 10, 40])
+    def test_unrooted_branch_count(self, n):
+        tree = simulate_yule_tree(n, seed=1)
+        assert tree.n_leaves == n
+        assert tree.n_branches == 2 * n - 3
+
+    def test_rooted_branch_count(self):
+        tree = simulate_yule_tree(8, seed=1, unrooted=False)
+        assert tree.n_branches == 2 * 8 - 2
+
+    def test_binary(self):
+        assert simulate_yule_tree(12, seed=4).is_binary()
+
+    def test_deterministic_by_seed(self):
+        a = simulate_yule_tree(9, seed=123)
+        b = simulate_yule_tree(9, seed=123)
+        assert a.leaf_names() == b.leaf_names()
+        assert a.branch_lengths() == pytest.approx(b.branch_lengths())
+
+    def test_different_seeds_differ(self):
+        a = simulate_yule_tree(9, seed=1)
+        b = simulate_yule_tree(9, seed=2)
+        assert a.branch_lengths() != pytest.approx(b.branch_lengths())
+
+    def test_branch_length_scale(self):
+        # Exponential(mean) branch lengths: empirical mean within 3 sigma.
+        mean = 0.25
+        tree = simulate_yule_tree(200, seed=7, mean_branch_length=mean)
+        lengths = np.array(tree.branch_lengths())
+        se = mean / np.sqrt(len(lengths))
+        assert abs(lengths.mean() - mean) < 3.5 * se
+
+    def test_names_prefixed(self):
+        tree = simulate_yule_tree(4, seed=1, name_prefix="tax")
+        assert all(name.startswith("tax") for name in tree.leaf_names())
+
+    def test_too_few_species(self):
+        with pytest.raises(ValueError):
+            simulate_yule_tree(2, seed=1, unrooted=True)
+        with pytest.raises(ValueError):
+            simulate_yule_tree(1, seed=1, unrooted=False)
+
+
+class TestRandomForeground:
+    def test_marks_exactly_one(self):
+        tree = simulate_yule_tree(10, seed=1)
+        node = random_foreground(tree, seed=2)
+        assert tree.require_single_foreground() is node
+
+    def test_internal_only(self):
+        tree = simulate_yule_tree(10, seed=1)
+        node = random_foreground(tree, seed=2, internal_only=True)
+        assert not node.is_leaf
+
+    def test_deterministic(self):
+        t1 = simulate_yule_tree(10, seed=1)
+        t2 = simulate_yule_tree(10, seed=1)
+        n1 = random_foreground(t1, seed=9)
+        n2 = random_foreground(t2, seed=9)
+        assert n1.index == n2.index
