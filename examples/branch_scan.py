@@ -37,10 +37,20 @@ scan = scan_branches(
     processes=1,  # set None to use all cores
 )
 
+# A scan never raises for one bad branch: successes land in
+# scan.by_branch, failures as structured records in scan.failures.
+# Callers wanting the old fail-fast contract chain .raise_on_failure().
+if not scan.ok:
+    print(f"\n{len(scan.failures)} branch task(s) failed:")
+    for label, failure in sorted(scan.failures.items()):
+        print(f"  {label}: {failure.describe()}")
+
 print(f"\n{'branch':<12s} {'2*delta':>9s} {'p (chi2_1)':>12s}  verdict")
 for label, lrt in sorted(scan.by_branch.items(), key=lambda kv: kv[1].pvalue_chi2):
     verdict = "**SELECTED**" if lrt.significant() else ""
     print(f"{label:<12s} {lrt.statistic:>9.3f} {lrt.pvalue_chi2:>12.4g}  {verdict}")
+
+print("\n" + scan.summary().format())
 
 significant = scan.significant_branches()
 print(f"\nbranches significant at 5% (uncorrected): {significant}")

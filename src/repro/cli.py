@@ -9,6 +9,7 @@ LRT, optionally computes BEB site probabilities, and writes an
 Subcommands
 -----------
 ``run``        one branch-site analysis (H0 + H1 + LRT [+ BEB])
+``scan``       fault-tolerant branch scan of one gene (journal/resume)
 ``simulate``   generate a synthetic dataset (tree + alignment)
 ``datasets``   materialise the Table II stand-in datasets to disk
 """
@@ -55,6 +56,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--beb", action="store_true", help="compute BEB site probabilities")
     run.add_argument("--cleandata", action="store_true", help="drop columns with gaps")
 
+    scan = sub.add_parser(
+        "scan",
+        help="test every candidate branch of one gene (fault-tolerant, resumable)",
+    )
+    scan.add_argument("--seqfile", required=True, help="alignment (PHYLIP or FASTA)")
+    scan.add_argument("--treefile", required=True, help="Newick tree (marks are ignored)")
+    scan.add_argument("--gene-id", default=None, help="task-id prefix (default: seqfile stem)")
+    scan.add_argument(
+        "--engine", default="slim", choices=["codeml", "slim", "slim-v2"],
+        help="likelihood engine",
+    )
+    scan.add_argument("--internal-only", action="store_true",
+                      help="scan internal branches only")
+    scan.add_argument("--processes", type=int, default=1,
+                      help="worker processes (1 = in-process)")
+    scan.add_argument("--seed", type=int, default=1, help="start-value seed")
+    scan.add_argument("--max-iterations", type=int, default=50)
+    scan.add_argument("--timeout", type=float, default=None,
+                      help="per-branch wall-clock budget in seconds (needs --processes > 1)")
+    scan.add_argument("--retries", type=int, default=0,
+                      help="retries per failed branch task")
+    scan.add_argument("--backoff", type=float, default=0.5,
+                      help="base retry backoff in seconds (doubles per retry)")
+    scan.add_argument("--journal", default=None,
+                      help="JSONL checkpoint; finished branches stream here")
+    scan.add_argument("--resume", action="store_true",
+                      help="skip branches already successful in --journal")
+    scan.add_argument("--out", default="-", help="report destination ('-' = stdout)")
+    scan.add_argument("--quiet", action="store_true", help="suppress per-branch progress")
+
     sim = sub.add_parser("simulate", help="simulate a dataset under branch-site model A")
     sim.add_argument("--species", type=int, default=12)
     sim.add_argument("--codons", type=int, default=300)
@@ -80,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_tree(treefile: str):
+    """Parse a Newick tree file (context-managed: no leaked handles)."""
+    with open(treefile, encoding="utf-8") as handle:
+        return parse_newick(handle.read())
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.ctl:
         ctl = parse_ctl(args.ctl)
@@ -99,7 +136,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     alignment = read_alignment(seqfile)
     if args.cleandata or ctl.cleandata:
         alignment = alignment.drop_incomplete_columns()
-    tree = parse_newick(open(treefile, encoding="utf-8").read())
+    tree = _read_tree(treefile)
     tree.require_single_foreground()
 
     engine = make_engine(engine_name)
@@ -125,6 +162,98 @@ def _cmd_run(args: argparse.Namespace) -> int:
             handle.write(report + "\n")
         print(f"report written to {args.out}")
     return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.parallel.batch import scan_branches
+    from repro.parallel.faults import FaultPolicy
+
+    alignment = read_alignment(args.seqfile)
+    tree = _read_tree(args.treefile)
+    gene_id = args.gene_id or os.path.splitext(os.path.basename(args.seqfile))[0]
+    policy = FaultPolicy(
+        task_timeout=args.timeout,
+        max_retries=args.retries,
+        retry_backoff=args.backoff,
+    )
+    if args.timeout is not None and args.processes == 1:
+        print(
+            "warning: --timeout needs --processes > 1 (in-process tasks "
+            "cannot be interrupted); timeout will not be enforced",
+            file=sys.stderr,
+        )
+    if args.resume and not args.journal:
+        print(
+            "warning: --resume has no effect without --journal; "
+            "every branch will be recomputed",
+            file=sys.stderr,
+        )
+
+    n_candidates = sum(
+        1 for n in tree.nodes
+        if not n.is_root and (not args.internal_only or not n.is_leaf)
+    )
+
+    computed_ids = set()
+
+    def progress(k: int, res) -> None:
+        # Fires only for tasks actually run this invocation — resumed
+        # results are loaded from the journal without passing through.
+        computed_ids.add(res.gene_id)
+        if args.quiet:
+            return
+        state = "FAILED" if res.failed else "ok"
+        detail = res.failure.describe() if res.failed and res.failure else (
+            f"2*delta={res.statistic:.3f} in {res.runtime_seconds:.1f}s"
+        )
+        print(f"  [{k + 1}/{n_candidates}] {res.gene_id}: {state} ({detail})",
+              file=sys.stderr)
+
+    start = time.perf_counter()
+    scan = scan_branches(
+        gene_id,
+        tree,
+        alignment,
+        engine=args.engine,
+        internal_only=args.internal_only,
+        seed=args.seed,
+        max_iterations=args.max_iterations,
+        processes=args.processes,
+        policy=policy,
+        journal=args.journal,
+        resume=args.resume,
+        on_result=progress,
+    )
+    wall = time.perf_counter() - start
+
+    resumed = [r.gene_id for r in scan.gene_results if r.gene_id not in computed_ids]
+
+    lines = [f"branch scan: {gene_id} ({scan.n_candidates} candidate branches)"]
+    lines.append("")
+    lines.append(f"{'branch':<16s} {'2*delta':>9s} {'p (chi2_1)':>12s}  verdict")
+    for label, lrt in sorted(scan.by_branch.items(), key=lambda kv: kv[1].pvalue_chi2):
+        verdict = "**SELECTED**" if lrt.significant() else ""
+        lines.append(
+            f"{label:<16s} {lrt.statistic:>9.3f} {lrt.pvalue_chi2:>12.4g}  {verdict}"
+        )
+    for label, failure in sorted(scan.failures.items()):
+        lines.append(f"{label:<16s} {'FAILED':>9s}  {failure.describe()}")
+    lines.append("")
+    lines.append(scan.summary(wall_seconds=wall, resumed_ids=resumed).format())
+    if args.journal:
+        lines.append(f"journal    : {args.journal}"
+                     + (" (resumed)" if args.resume else ""))
+    report = "\n".join(lines)
+    if args.out == "-":
+        print(report)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.out}")
+    return 0 if scan.ok else 1
 
 
 def _h1_model():
@@ -210,6 +339,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "scan":
+        return _cmd_scan(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "datasets":

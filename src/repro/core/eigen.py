@@ -18,7 +18,8 @@ rate-matrix parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import count
 from typing import Optional
 
 import numpy as np
@@ -43,6 +44,10 @@ def symmetrize(rate_matrix: CodonRateMatrix) -> np.ndarray:
     return 0.5 * (a + a.T)
 
 
+#: Process-wide monotone sequence backing ``SpectralDecomposition.token``.
+_TOKENS = count()
+
+
 @dataclass(frozen=True)
 class SpectralDecomposition:
     """Eigendecomposition ``A = X Λ Xᵀ`` plus the Π^{±1/2} scalings.
@@ -58,6 +63,11 @@ class SpectralDecomposition:
         rule of thumb).
     pi, sqrt_pi, inv_sqrt_pi:
         The stationary distribution and its elementwise square roots.
+    token:
+        Process-unique monotone id.  Unlike ``id()`` it is never reused
+        after garbage collection, so downstream caches (the engines'
+        transition-matrix cache) can key on it without risking a stale
+        hit from a recycled address.
     """
 
     eigenvalues: np.ndarray
@@ -65,6 +75,7 @@ class SpectralDecomposition:
     pi: np.ndarray
     sqrt_pi: np.ndarray
     inv_sqrt_pi: np.ndarray
+    token: int = field(default_factory=lambda: next(_TOKENS))
 
     @property
     def n_states(self) -> int:

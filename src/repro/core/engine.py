@@ -25,6 +25,7 @@ no BLAS — its products are hand-written portable C loops).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -106,8 +107,15 @@ class LikelihoodEngine:
             else None
         )
         self.cache_transition_matrices = cache_transition_matrices
-        self._transition_cache: Dict[Tuple[int, float], object] = {}
+        # Keyed by (decomposition token, t).  The token is the
+        # process-unique sequence number on SpectralDecomposition — NOT
+        # id(): after the decomposition cache evicts and the object is
+        # collected, a recycled id would silently alias a fresh
+        # decomposition onto a stale P(t).
+        self._transition_cache: "OrderedDict[Tuple[int, float], object]" = OrderedDict()
         self._transition_cache_size = transition_cache_size
+        self.transition_hits = 0
+        self.transition_misses = 0
 
     # ------------------------------------------------------------------
     # Kernel hooks (overridden per engine)
@@ -129,17 +137,38 @@ class LikelihoodEngine:
 
     def _operator_for(self, decomp: SpectralDecomposition, t: float) -> object:
         if self.cache_transition_matrices:
-            key = (id(decomp), float(t))
+            key = (decomp.token, float(t))
             op = self._transition_cache.get(key)
-            if op is None:
-                with self.stopwatch.measure("expm"):
-                    op = self._build_operator(decomp, t)
-                if len(self._transition_cache) >= self._transition_cache_size:
-                    self._transition_cache.clear()
-                self._transition_cache[key] = op
+            if op is not None:
+                self.transition_hits += 1
+                self._transition_cache.move_to_end(key)
+                return op
+            self.transition_misses += 1
+            with self.stopwatch.measure("expm"):
+                op = self._build_operator(decomp, t)
+            self._transition_cache[key] = op
+            # LRU eviction: drop the coldest entry, never the whole
+            # working set (a full clear() thrashes the hot branches).
+            while len(self._transition_cache) > self._transition_cache_size:
+                self._transition_cache.popitem(last=False)
             return op
         with self.stopwatch.measure("expm"):
             return self._build_operator(decomp, t)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for both caches (batch-scan metrics)."""
+        stats = {
+            "transition_hits": self.transition_hits,
+            "transition_misses": self.transition_misses,
+            "transition_size": len(self._transition_cache),
+        }
+        if self._decomp_cache is not None:
+            stats.update(
+                decomposition_hits=self._decomp_cache.hits,
+                decomposition_misses=self._decomp_cache.misses,
+                decomposition_size=len(self._decomp_cache),
+            )
+        return stats
 
     # ------------------------------------------------------------------
     def bind(

@@ -26,6 +26,9 @@ __all__ = [
     "branch_site_test_from_dict",
     "write_json_result",
     "read_json_result",
+    "gene_result_to_dict",
+    "gene_result_from_dict",
+    "ResultJournal",
 ]
 
 PathLike = Union[str, os.PathLike]
@@ -144,3 +147,163 @@ def read_json_result(source: PathLike) -> Union[FitResult, BranchSiteTest]:
     if kind == "branch_site_test":
         return branch_site_test_from_dict(payload)
     raise ValueError(f"unknown result kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Gene-result journal (checkpoint/resume for batch scans)
+# ----------------------------------------------------------------------
+def gene_result_to_dict(result) -> Dict:
+    """Serialise a :class:`~repro.parallel.batch.GeneResult` (one JSONL record).
+
+    Non-finite floats (a failed task's NaN likelihoods) become ``None``
+    so the payload is strict JSON — ``json.dumps`` would otherwise emit
+    the non-standard ``NaN`` token.
+    """
+    failure = None
+    if result.failure is not None:
+        failure = {
+            "task_id": result.failure.task_id,
+            "kind": result.failure.kind,
+            "error_type": result.failure.error_type,
+            "message": result.failure.message,
+            "attempts": result.failure.attempts,
+        }
+    return _nan_to_none({
+        "schema": SCHEMA_VERSION,
+        "kind": "gene_result",
+        "gene_id": result.gene_id,
+        "lnl0": result.lnl0,
+        "lnl1": result.lnl1,
+        "statistic": result.statistic,
+        "pvalue": result.pvalue,
+        "iterations": result.iterations,
+        "n_evaluations": result.n_evaluations,
+        "runtime_seconds": result.runtime_seconds,
+        "attempts": result.attempts,
+        "error": result.error,
+        "failure": failure,
+    })
+
+
+def gene_result_from_dict(payload: Dict):
+    """Inverse of :func:`gene_result_to_dict` (``None`` numerics → NaN)."""
+    # Imported lazily: repro.parallel.batch imports this module at top level.
+    from repro.parallel.batch import GeneResult
+    from repro.parallel.faults import TaskFailure
+
+    _check(payload, "gene_result")
+    payload = _none_to_nan(payload)
+    failure = None
+    if payload.get("failure") is not None:
+        raw = payload["failure"]
+        failure = TaskFailure(
+            task_id=raw["task_id"],
+            kind=raw["kind"],
+            error_type=raw["error_type"],
+            message=raw["message"],
+            attempts=int(raw["attempts"]),
+        )
+    return GeneResult(
+        gene_id=payload["gene_id"],
+        lnl0=float(payload["lnl0"]),
+        lnl1=float(payload["lnl1"]),
+        statistic=float(payload["statistic"]),
+        pvalue=float(payload["pvalue"]),
+        iterations=int(payload["iterations"]),
+        runtime_seconds=float(payload["runtime_seconds"]),
+        error=payload.get("error"),
+        n_evaluations=int(payload.get("n_evaluations", 0)),
+        attempts=int(payload.get("attempts", 1)),
+        failure=failure,
+    )
+
+
+class ResultJournal:
+    """Append-only JSONL journal of per-gene scan results.
+
+    One JSON object per line; completed results are appended (and the
+    stream flushed + fsynced) as soon as each task finishes, so a
+    scan killed mid-batch leaves a journal from which a resumed run
+    recomputes only the unfinished genes.  A truncated final line — the
+    signature of a mid-write kill — is tolerated on read.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = os.fspath(path)
+        self._handle = None
+
+    # -- writing --------------------------------------------------------
+    def append(self, result) -> None:
+        """Durably append one result (non-finite floats survive as JSON nulls)."""
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        payload = gene_result_to_dict(result)
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading --------------------------------------------------------
+    def load(self) -> list:
+        """All parseable results, journal order (later duplicates win on id)."""
+        results = []
+        if not os.path.exists(self.path):
+            return results
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    continue  # truncated final record from a killed run
+                raise ValueError(
+                    f"{self.path}:{lineno + 1}: corrupt journal record"
+                ) from None
+            results.append(gene_result_from_dict(payload))
+        return results
+
+    def completed(self) -> Dict[str, object]:
+        """``gene_id`` → latest *successful* result (resume skips these)."""
+        done: Dict[str, object] = {}
+        for result in self.load():
+            if not result.failed:
+                done[result.gene_id] = result
+            else:
+                # A later failure supersedes an earlier success (e.g. a
+                # forced re-run) so resume recomputes the gene.
+                done.pop(result.gene_id, None)
+        return done
+
+
+def _nan_to_none(value):
+    """Recursively map non-finite floats to ``None`` for strict-JSON output."""
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _nan_to_none(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_nan_to_none(v) for v in value]
+    return value
+
+
+def _none_to_nan(payload: Dict) -> Dict:
+    """Restore journalled ``None`` numerics to NaN for the float fields."""
+    out = dict(payload)
+    for key in ("lnl0", "lnl1", "statistic", "pvalue"):
+        if out.get(key) is None:
+            out[key] = float("nan")
+    return out

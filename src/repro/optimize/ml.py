@@ -292,6 +292,12 @@ class BranchSiteTest:
     def combined_iterations(self) -> int:
         return self.h0.n_iterations + self.h1.n_iterations
 
+    @property
+    def combined_evaluations(self) -> int:
+        """Likelihood evaluations across H0+H1, finite-difference probes
+        included — the per-task work metric batch scans aggregate."""
+        return self.h0.n_evaluations + self.h1.n_evaluations
+
     def summary(self) -> str:
         return (
             f"{self.h0.summary()}\n{self.h1.summary()}\n"

@@ -4,9 +4,35 @@ The paper's future work (§V-B) is a parallel and distributed CodeML.
 Genome-scale positive-selection scans (Selectome) are embarrassingly
 parallel across genes and across candidate foreground branches; this
 subpackage provides process-pool drivers for both axes with
-deterministic per-task seeding.
+deterministic per-task seeding, plus the fault layer that keeps a
+genome-scale batch alive when individual tasks crash, hang, or take a
+worker process down with them (:mod:`repro.parallel.faults`) and the
+metrics aggregation that makes each batch observable
+(:mod:`repro.parallel.metrics`).
 """
 
-from repro.parallel.batch import BranchScanResult, GeneJob, analyze_genes, scan_branches
+from repro.parallel.batch import (
+    BranchScanResult,
+    GeneJob,
+    GeneResult,
+    analyze_genes,
+    branch_label,
+    scan_branches,
+)
+from repro.parallel.faults import FaultPolicy, TaskFailure, TaskOutcome, run_tasks
+from repro.parallel.metrics import BatchSummary, summarize_results
 
-__all__ = ["BranchScanResult", "GeneJob", "analyze_genes", "scan_branches"]
+__all__ = [
+    "BranchScanResult",
+    "GeneJob",
+    "GeneResult",
+    "analyze_genes",
+    "branch_label",
+    "scan_branches",
+    "FaultPolicy",
+    "TaskFailure",
+    "TaskOutcome",
+    "run_tasks",
+    "BatchSummary",
+    "summarize_results",
+]

@@ -11,22 +11,43 @@ Two scan axes, both used by Selectome-style genome analyses (§I-A):
 Tasks ship as plain strings (Newick + raw sequences) so they pickle
 cheaply; every task derives its own RNG stream from the master seed, so
 results are independent of scheduling order and worker count.
+
+Fault tolerance (gcodeml's lesson: at genome scale the binding
+constraint is fault handling, not kernels):
+
+* a failing task never raises out of the batch — it becomes a
+  structured :class:`~repro.parallel.faults.TaskFailure` riding on its
+  :class:`GeneResult`, and every other task's result is kept;
+* retries/timeouts/worker-crash recovery are governed by a
+  :class:`~repro.parallel.faults.FaultPolicy`;
+* with ``journal=...`` completed results stream to a JSONL checkpoint
+  (:class:`~repro.io.results_io.ResultJournal`) as they finish, and
+  ``resume=True`` skips genes the journal already holds.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.alignment.msa import CodonAlignment
 from repro.core.engine import make_engine
-from repro.optimize.lrt import LRTResult
+from repro.io.results_io import ResultJournal
+from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
+from repro.parallel.faults import FaultPolicy, TaskFailure, TaskOutcome, run_tasks
+from repro.parallel.metrics import BatchSummary
 from repro.trees.newick import parse_newick, write_newick
 from repro.trees.tree import Tree
 
-__all__ = ["GeneJob", "GeneResult", "BranchScanResult", "analyze_genes", "scan_branches"]
+__all__ = [
+    "GeneJob",
+    "GeneResult",
+    "BranchScanResult",
+    "analyze_genes",
+    "scan_branches",
+    "branch_label",
+]
 
 
 @dataclass(frozen=True)
@@ -50,7 +71,14 @@ class GeneJob:
 
 @dataclass
 class GeneResult:
-    """Worker output for one gene."""
+    """Worker output for one gene (or one branch of a branch scan).
+
+    ``n_evaluations`` counts likelihood evaluations across H0+H1
+    (finite-difference probes included) — the per-task work metric the
+    batch summary aggregates.  ``attempts`` is how many times the fault
+    layer ran the task; ``failure`` carries the structured record when
+    the task ultimately failed (``error`` keeps the flat string form).
+    """
 
     gene_id: str
     lnl0: float
@@ -60,44 +88,55 @@ class GeneResult:
     iterations: int
     runtime_seconds: float
     error: Optional[str] = None
+    n_evaluations: int = 0
+    attempts: int = 1
+    failure: Optional[TaskFailure] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
 
-
-def _run_gene(args: Tuple[GeneJob, str, int, int]) -> GeneResult:
-    """Worker entry point (module-level so it pickles)."""
-    job, engine_name, seed, max_iterations = args
-    try:
-        tree = parse_newick(job.newick)
-        alignment = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
-        engine = make_engine(engine_name)
-        test = fit_branch_site_test(
-            lambda model: engine.bind(tree, alignment, model),
-            seed=seed,
-            max_iterations=max_iterations,
-        )
-        return GeneResult(
-            gene_id=job.gene_id,
-            lnl0=test.h0.lnl,
-            lnl1=test.h1.lnl,
-            statistic=test.lrt.statistic,
-            pvalue=test.lrt.pvalue_chi2,
-            iterations=test.combined_iterations,
-            runtime_seconds=test.combined_runtime,
-        )
-    except Exception as exc:  # noqa: BLE001 - worker faults become data
-        return GeneResult(
-            gene_id=job.gene_id,
+    @classmethod
+    def from_failure(cls, failure: TaskFailure) -> "GeneResult":
+        return cls(
+            gene_id=failure.task_id,
             lnl0=float("nan"),
             lnl1=float("nan"),
             statistic=float("nan"),
             pvalue=float("nan"),
             iterations=0,
             runtime_seconds=0.0,
-            error=f"{type(exc).__name__}: {exc}",
+            error=f"{failure.error_type}: {failure.message}",
+            attempts=failure.attempts,
+            failure=failure,
         )
+
+
+def _run_gene(args: Tuple[GeneJob, str, int, int]) -> GeneResult:
+    """Worker entry point (module-level so it pickles).
+
+    Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
+    owns error capture, classification and retries.
+    """
+    job, engine_name, seed, max_iterations = args
+    tree = parse_newick(job.newick)
+    alignment = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
+    engine = make_engine(engine_name)
+    test = fit_branch_site_test(
+        lambda model: engine.bind(tree, alignment, model),
+        seed=seed,
+        max_iterations=max_iterations,
+    )
+    return GeneResult(
+        gene_id=job.gene_id,
+        lnl0=test.h0.lnl,
+        lnl1=test.h1.lnl,
+        statistic=test.lrt.statistic,
+        pvalue=test.lrt.pvalue_chi2,
+        iterations=test.combined_iterations,
+        runtime_seconds=test.combined_runtime,
+        n_evaluations=test.combined_evaluations,
+    )
 
 
 def analyze_genes(
@@ -106,31 +145,122 @@ def analyze_genes(
     processes: Optional[int] = None,
     seed: int = 1,
     max_iterations: int = 50,
+    policy: Optional[FaultPolicy] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    worker: Optional[Callable[[Tuple[GeneJob, str, int, int]], GeneResult]] = None,
+    on_result: Optional[Callable[[int, GeneResult], None]] = None,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over a process pool.
 
     Each gene ``k`` uses seed ``seed + k`` so the batch is reproducible
-    regardless of worker scheduling.  With ``processes = 1`` (or a
-    single job) everything runs in-process, which is also what the tests
-    use to stay hermetic.
+    regardless of worker scheduling — and so a resumed run recomputes a
+    gene with exactly the seed the interrupted run would have used.
+    With ``processes = 1`` (or a single job and no timeout) everything
+    runs in-process, which is also what the tests use to stay hermetic.
+
+    Parameters
+    ----------
+    policy:
+        Retry/timeout/crash-recovery policy; default is fail-soft with
+        no retries (every task runs once, failures are captured).
+    journal:
+        Path to a JSONL checkpoint; each finished result is appended
+        durably as soon as it completes.
+    resume:
+        With ``journal``, load previously *successful* results instead
+        of recomputing them; failed or missing genes run again.
+    worker:
+        Alternative worker callable (module-level, pickleable) with the
+        same payload signature as the default — the fault-injection
+        seam used by the test suite.
+    on_result:
+        ``(job_index, result)`` hook fired in completion order — drives
+        CLI progress reporting.
+
+    Returns
+    -------
+    list of :class:`GeneResult` in job order; a failed task yields a
+    result with ``failed=True`` and a structured ``failure`` record
+    rather than raising.
     """
-    payloads = [
-        (job, engine, seed + k, max_iterations) for k, job in enumerate(jobs)
-    ]
-    if processes == 1 or len(payloads) <= 1:
-        return [_run_gene(p) for p in payloads]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        return list(pool.map(_run_gene, payloads))
+    policy = policy if policy is not None else FaultPolicy()
+    run = worker if worker is not None else _run_gene
+
+    results: List[Optional[GeneResult]] = [None] * len(jobs)
+    payloads: List[Tuple[GeneJob, str, int, int]] = []
+    payload_jobs: List[int] = []  # payload position -> job index
+
+    done: Dict[str, GeneResult] = {}
+    if journal is not None and resume:
+        done = ResultJournal(journal).completed()
+    for k, job in enumerate(jobs):
+        if job.gene_id in done:
+            results[k] = done[job.gene_id]
+        else:
+            payloads.append((job, engine, seed + k, max_iterations))
+            payload_jobs.append(k)
+
+    sink = ResultJournal(journal) if journal is not None else None
+    try:
+        def handle(outcome: TaskOutcome) -> None:
+            k = payload_jobs[outcome.index]
+            if outcome.ok:
+                result = outcome.result
+                result.attempts = outcome.attempts
+            else:
+                result = GeneResult.from_failure(outcome.failure)
+            results[k] = result
+            if sink is not None:
+                sink.append(result)
+            if on_result is not None:
+                on_result(k, result)
+
+        in_process = processes == 1 or (
+            len(payloads) <= 1 and policy.task_timeout is None
+        )
+        run_tasks(
+            run,
+            payloads,
+            task_ids=[jobs[k].gene_id for k in payload_jobs],
+            policy=policy,
+            max_workers=processes,
+            on_outcome=handle,
+            in_process=in_process,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 @dataclass
 class BranchScanResult:
-    """Per-branch LRT outcomes for one gene."""
+    """Per-branch outcomes for one gene — successes *and* failures.
+
+    A poisoned branch no longer discards the rest of the scan:
+    ``by_branch`` holds the LRT for every branch whose task succeeded,
+    ``failures`` the structured record for every branch that did not.
+    """
 
     gene_id: str
     #: Branch label → LRT result; labels are child-node names or
     #: ``node#<index>`` for unnamed internals.
     by_branch: Dict[str, LRTResult]
+    #: Branch label → structured failure for tasks that did not finish.
+    failures: Dict[str, TaskFailure] = field(default_factory=dict)
+    #: Raw per-branch worker results in candidate order (metrics source).
+    gene_results: List[GeneResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every candidate branch produced an LRT."""
+        return not self.failures
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.by_branch) + len(self.failures)
 
     def significant_branches(self, alpha: float = 0.05) -> List[str]:
         """Branch labels significant at ``alpha`` — before any multiple-
@@ -140,6 +270,25 @@ class BranchScanResult:
             for label, lrt in self.by_branch.items()
             if lrt.significant(alpha)
         ]
+
+    def raise_on_failure(self) -> "BranchScanResult":
+        """Opt back into the old fail-fast contract (first failure raises)."""
+        if self.failures:
+            label, failure = next(iter(self.failures.items()))
+            raise RuntimeError(
+                f"branch scan task {self.gene_id}:{label} failed: {failure.describe()}"
+            )
+        return self
+
+    def summary(
+        self, wall_seconds: float = 0.0, resumed_ids: Sequence[str] = ()
+    ) -> BatchSummary:
+        """Aggregate scan metrics (see :mod:`repro.parallel.metrics`)."""
+        from repro.parallel.metrics import summarize_results
+
+        return summarize_results(
+            self.gene_results, wall_seconds=wall_seconds, resumed_ids=resumed_ids
+        )
 
 
 def branch_label(tree: Tree, node_index: int) -> str:
@@ -156,8 +305,19 @@ def scan_branches(
     seed: int = 1,
     max_iterations: int = 50,
     processes: Optional[int] = 1,
+    policy: Optional[FaultPolicy] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    worker: Optional[Callable] = None,
+    on_result: Optional[Callable[[int, GeneResult], None]] = None,
 ) -> BranchScanResult:
-    """Test every candidate branch of one gene as foreground in turn."""
+    """Test every candidate branch of one gene as foreground in turn.
+
+    Per-branch task ids are ``"<gene_id>:<branch_label>"``, so a journal
+    written by one scan resumes cleanly at branch granularity.  Failures
+    are captured per branch (see :class:`BranchScanResult`); callers
+    wanting the old fail-fast behaviour chain ``.raise_on_failure()``.
+    """
     candidates = [
         n for n in tree.nodes if not n.is_root and (not internal_only or not n.is_leaf)
     ]
@@ -169,13 +329,31 @@ def scan_branches(
             GeneJob.from_objects(f"{gene_id}:{branch_label(tree, node.index)}", marked, alignment)
         )
     results = analyze_genes(
-        jobs, engine=engine, processes=processes, seed=seed, max_iterations=max_iterations
+        jobs,
+        engine=engine,
+        processes=processes,
+        seed=seed,
+        max_iterations=max_iterations,
+        policy=policy,
+        journal=journal,
+        resume=resume,
+        worker=worker,
+        on_result=on_result,
     )
     by_branch: Dict[str, LRTResult] = {}
-    from repro.optimize.lrt import likelihood_ratio_test
-
+    failures: Dict[str, TaskFailure] = {}
     for node, res in zip(candidates, results):
+        label = branch_label(tree, node.index)
         if res.failed:
-            raise RuntimeError(f"branch scan task {res.gene_id} failed: {res.error}")
-        by_branch[branch_label(tree, node.index)] = likelihood_ratio_test(res.lnl0, res.lnl1)
-    return BranchScanResult(gene_id=gene_id, by_branch=by_branch)
+            failures[label] = res.failure if res.failure is not None else TaskFailure(
+                task_id=res.gene_id,
+                kind="error",
+                error_type="Error",
+                message=res.error or "unknown failure",
+                attempts=res.attempts,
+            )
+        else:
+            by_branch[label] = likelihood_ratio_test(res.lnl0, res.lnl1)
+    return BranchScanResult(
+        gene_id=gene_id, by_branch=by_branch, failures=failures, gene_results=list(results)
+    )

@@ -1,0 +1,442 @@
+"""Retry/timeout policy and fault-tolerant task execution.
+
+gcodeml (Moretti et al., 2012) showed that at Selectome scale the
+binding constraint on a genome-wide branch-site scan is *fault
+handling*: grid tasks crash, hang, and must be retried without losing
+the rest of the batch.  This module is the policy layer the batch
+drivers (:mod:`repro.parallel.batch`) delegate to:
+
+* per-task attempt accounting with bounded retries and exponential
+  backoff;
+* a per-task wall-clock timeout — a hung worker is abandoned (its
+  process terminated) and the surviving task set moves to a fresh pool;
+* :class:`~concurrent.futures.process.BrokenProcessPool` recovery — a
+  worker crash (segfault, OOM-kill, ``os._exit``) poisons every
+  in-flight future, so the runner re-submits the surviving tasks to a
+  fresh pool instead of killing the whole batch.
+
+Failures never raise out of :func:`run_tasks`; they come back as
+structured :class:`TaskFailure` records alongside the successes, in
+input order, so one poisoned task cannot mask a thousand finished ones.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultPolicy", "TaskFailure", "TaskOutcome", "run_tasks"]
+
+#: Failure classes a task can end in (``TaskFailure.kind``).
+FAILURE_KINDS = ("error", "timeout", "pool")
+
+#: Floor for pool-wait polling so a just-expired deadline cannot spin.
+_MIN_WAIT = 0.02
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the batch layer treats a misbehaving task.
+
+    Parameters
+    ----------
+    task_timeout:
+        Per-attempt wall-clock budget in seconds; ``None`` disables the
+        timeout.  Only enforceable when tasks run in worker processes
+        (the in-process fallback cannot interrupt a hung call).
+    max_retries:
+        Retries *after* the first attempt, so a task runs at most
+        ``max_retries + 1`` times.
+    retry_backoff:
+        Sleep before retry ``k`` is ``retry_backoff *
+        backoff_multiplier**(k-1)`` seconds; 0 retries immediately.
+    backoff_multiplier:
+        Exponential growth factor for successive backoffs.
+    retry_timeouts:
+        Whether a timed-out attempt is retried like an error.  Off by
+        default: hung tasks are usually deterministically hung, and each
+        retry costs another full ``task_timeout``.
+    max_pool_restarts:
+        How many *unattributed* :class:`BrokenProcessPool` recoveries to
+        attempt before declaring every remaining task a ``pool``
+        failure.  A pool crash triggers a quarantine round that re-runs
+        each lost task in its own single-worker pool — the culprit
+        breaks its private pool (and is charged an attempt) while its
+        victims complete unharmed; only crashes quarantine *cannot*
+        attribute to a task (environment-level faults) consume this
+        budget.  Timeout abandonments never do (they are bounded by the
+        task count already).
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = 0
+    retry_backoff: float = 0.5
+    backoff_multiplier: float = 2.0
+    retry_timeouts: bool = False
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be non-negative")
+
+    def backoff_seconds(self, failed_attempt: int) -> float:
+        """Sleep before re-running a task whose attempt ``k`` (1-based) failed."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        return self.retry_backoff * self.backoff_multiplier ** (failed_attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task's terminal failure.
+
+    ``kind`` is ``"error"`` (the worker raised), ``"timeout"`` (the
+    attempt exceeded ``FaultPolicy.task_timeout``) or ``"pool"`` (the
+    worker process died, or the pool could not be rebuilt).
+    """
+
+    task_id: str
+    kind: str
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task: a worker result or a :class:`TaskFailure`."""
+
+    index: int
+    task_id: str
+    result: Optional[object]
+    failure: Optional[TaskFailure]
+    attempts: int
+    runtime_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def run_tasks(
+    fn: Callable[[object], object],
+    payloads: Sequence[object],
+    task_ids: Optional[Sequence[str]] = None,
+    policy: Optional[FaultPolicy] = None,
+    max_workers: Optional[int] = None,
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    in_process: bool = False,
+) -> List[TaskOutcome]:
+    """Run ``fn`` over ``payloads`` under ``policy``, never raising per-task.
+
+    Results come back in input order.  ``on_outcome`` fires once per
+    task *in completion order* as soon as its terminal state is known —
+    the hook the batch layer uses to stream results to a journal.
+
+    ``in_process`` runs everything sequentially in the calling process
+    (deterministic, hermetic for tests); timeouts are not enforceable
+    there and ``task_timeout`` is ignored.
+    """
+    policy = policy if policy is not None else FaultPolicy()
+    ids = list(task_ids) if task_ids is not None else [f"task-{i}" for i in range(len(payloads))]
+    if len(ids) != len(payloads):
+        raise ValueError(f"{len(payloads)} payloads but {len(ids)} task ids")
+    if in_process or len(payloads) == 0:
+        return _run_inline(fn, payloads, ids, policy, on_outcome)
+    return _run_pool(fn, payloads, ids, policy, max_workers, on_outcome)
+
+
+# ----------------------------------------------------------------------
+# Sequential fallback
+# ----------------------------------------------------------------------
+def _run_inline(
+    fn: Callable[[object], object],
+    payloads: Sequence[object],
+    ids: Sequence[str],
+    policy: FaultPolicy,
+    on_outcome: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    outcomes: List[TaskOutcome] = []
+    for i, payload in enumerate(payloads):
+        attempt = 1
+        elapsed = 0.0
+        while True:
+            start = time.perf_counter()
+            try:
+                result = fn(payload)
+            except Exception as exc:  # noqa: BLE001 - faults become data
+                elapsed += time.perf_counter() - start
+                if attempt <= policy.max_retries:
+                    time.sleep(policy.backoff_seconds(attempt))
+                    attempt += 1
+                    continue
+                failure = TaskFailure(
+                    task_id=ids[i],
+                    kind="error",
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    attempts=attempt,
+                )
+                outcome = TaskOutcome(i, ids[i], None, failure, attempt, elapsed)
+                break
+            elapsed += time.perf_counter() - start
+            outcome = TaskOutcome(i, ids[i], result, None, attempt, elapsed)
+            break
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Process-pool path
+# ----------------------------------------------------------------------
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, terminating any stuck workers."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+
+
+def _quarantine(
+    fn: Callable[[object], object],
+    payloads: Sequence[object],
+    ids: Sequence[str],
+    policy: FaultPolicy,
+    lost: Sequence[Tuple[int, int]],
+    elapsed: List[float],
+    finish: Callable,
+    fail: Callable,
+) -> bool:
+    """Re-run tasks lost to a pool crash, one per single-worker pool.
+
+    Isolation makes crash attribution exact: a task that breaks its
+    private pool *is* the culprit (charged an attempt, retried or
+    failed per policy) while the victims simply complete.  Returns
+    whether any culprit was identified — if not, the crash was
+    environmental and counts against ``max_pool_restarts``.
+    """
+    culprit_found = False
+    queue = deque(lost)
+    while queue:
+        i, attempt = queue.popleft()
+        qpool = ProcessPoolExecutor(max_workers=1)
+        started = time.monotonic()
+        future = qpool.submit(fn, payloads[i])
+        try:
+            result = future.result(timeout=policy.task_timeout)
+        except BrokenProcessPool:
+            culprit_found = True
+            elapsed[i] += time.monotonic() - started
+            if attempt <= policy.max_retries:
+                time.sleep(policy.backoff_seconds(attempt))
+                queue.append((i, attempt + 1))
+            else:
+                fail(
+                    i, attempt, "pool", "BrokenProcessPool",
+                    "worker process died (isolated in quarantine)",
+                )
+        except FuturesTimeout:
+            elapsed[i] += time.monotonic() - started
+            if policy.retry_timeouts and attempt <= policy.max_retries:
+                time.sleep(policy.backoff_seconds(attempt))
+                queue.append((i, attempt + 1))
+            else:
+                fail(
+                    i, attempt, "timeout", "TaskTimeout",
+                    f"exceeded task_timeout={policy.task_timeout:g}s",
+                )
+        except Exception as exc:  # noqa: BLE001 - faults become data
+            elapsed[i] += time.monotonic() - started
+            if attempt <= policy.max_retries:
+                time.sleep(policy.backoff_seconds(attempt))
+                queue.append((i, attempt + 1))
+            else:
+                fail(i, attempt, "error", type(exc).__name__, str(exc))
+        else:
+            elapsed[i] += time.monotonic() - started
+            finish(i, attempt, result=result)
+        finally:
+            _abandon_pool(qpool)
+    return culprit_found
+
+
+def _run_pool(
+    fn: Callable[[object], object],
+    payloads: Sequence[object],
+    ids: Sequence[str],
+    policy: FaultPolicy,
+    max_workers: Optional[int],
+    on_outcome: Optional[Callable[[TaskOutcome], None]],
+) -> List[TaskOutcome]:
+    n = len(payloads)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, n))
+    outcomes: List[Optional[TaskOutcome]] = [None] * n
+    # Attempt-elapsed accumulators so retried tasks report total runtime.
+    elapsed: List[float] = [0.0] * n
+
+    def finish(
+        index: int,
+        attempts: int,
+        result: Optional[object] = None,
+        failure: Optional[TaskFailure] = None,
+    ) -> None:
+        outcome = TaskOutcome(index, ids[index], result, failure, attempts, elapsed[index])
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    def fail(index: int, attempts: int, kind: str, error_type: str, message: str) -> None:
+        finish(
+            index,
+            attempts,
+            failure=TaskFailure(ids[index], kind, error_type, message, attempts),
+        )
+
+    pending: deque = deque((i, 1) for i in range(n))  # (index, attempt)
+    retry_at: List[Tuple[float, int, int]] = []  # (ready_time, index, attempt)
+    in_flight: Dict[Future, Tuple[int, int, float]] = {}  # fut -> (index, attempt, started)
+    restarts = 0
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def drain_to_pool_failure(message: str) -> None:
+        """Terminal pool fault: everything unfinished becomes a ``pool`` failure."""
+        for fut, (i, attempt, started) in list(in_flight.items()):
+            elapsed[i] += time.monotonic() - started
+            fail(i, attempt, "pool", "BrokenProcessPool", message)
+        in_flight.clear()
+        for i, attempt in list(pending) + [(e[1], e[2]) for e in retry_at]:
+            fail(i, attempt, "pool", "BrokenProcessPool", message)
+        pending.clear()
+        retry_at.clear()
+
+    try:
+        while pending or in_flight or retry_at:
+            now = time.monotonic()
+            for entry in [e for e in retry_at if e[0] <= now]:
+                retry_at.remove(entry)
+                pending.append((entry[1], entry[2]))
+
+            # Keep in-flight ≤ workers so the per-task clock starts at
+            # submission time without counting queue wait.
+            while pending and len(in_flight) < workers:
+                i, attempt = pending.popleft()
+                future = pool.submit(fn, payloads[i])
+                in_flight[future] = (i, attempt, time.monotonic())
+
+            if not in_flight:
+                if retry_at:  # only backoff sleeps remain
+                    time.sleep(max(0.0, min(e[0] for e in retry_at) - time.monotonic()))
+                continue
+
+            timeout = None
+            if policy.task_timeout is not None:
+                nearest = min(s + policy.task_timeout for _, _, s in in_flight.values())
+                timeout = max(_MIN_WAIT, nearest - time.monotonic())
+            if retry_at:
+                ripe = max(_MIN_WAIT, min(e[0] for e in retry_at) - time.monotonic())
+                timeout = ripe if timeout is None else min(timeout, ripe)
+
+            done, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
+
+            pool_broken = False
+            for future in done:
+                i, attempt, started = in_flight.pop(future)
+                exc = future.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    # The whole pool is poisoned; handle below with the
+                    # rest of the in-flight set.
+                    pool_broken = True
+                    in_flight[future] = (i, attempt, started)
+                    continue
+                elapsed[i] += time.monotonic() - started
+                if exc is None:
+                    finish(i, attempt, result=future.result())
+                elif attempt <= policy.max_retries:
+                    retry_at.append(
+                        (time.monotonic() + policy.backoff_seconds(attempt), i, attempt + 1)
+                    )
+                else:
+                    fail(i, attempt, "error", type(exc).__name__, str(exc))
+
+            if pool_broken or getattr(pool, "_broken", False):
+                # Every in-flight task was lost with the pool.  The
+                # crash-triggering task is indistinguishable from its
+                # victims here, so run a quarantine round: each lost
+                # task gets its own single-worker pool, which pins the
+                # crash on the culprit while the victims finish.
+                lost = [(i, attempt) for i, attempt, _ in in_flight.values()]
+                for i, attempt, started in in_flight.values():
+                    elapsed[i] += time.monotonic() - started
+                in_flight.clear()
+                _abandon_pool(pool)
+                culprit_found = _quarantine(
+                    fn, payloads, ids, policy, lost, elapsed, finish, fail
+                )
+                if not culprit_found:
+                    restarts += 1
+                    if restarts > policy.max_pool_restarts:
+                        drain_to_pool_failure(
+                            "unattributed pool crashes exhausted the restart budget"
+                        )
+                        break
+                pool = ProcessPoolExecutor(max_workers=workers)
+                continue
+
+            if policy.task_timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    (fut, meta)
+                    for fut, meta in in_flight.items()
+                    if now - meta[2] > policy.task_timeout
+                ]
+                if expired:
+                    # A stuck worker cannot be cancelled: abandon the
+                    # pool, terminate its processes, and move every
+                    # *surviving* in-flight task to a fresh pool at no
+                    # attempt cost.
+                    for fut, (i, attempt, started) in expired:
+                        del in_flight[fut]
+                        elapsed[i] += now - started
+                        if policy.retry_timeouts and attempt <= policy.max_retries:
+                            retry_at.append(
+                                (now + policy.backoff_seconds(attempt), i, attempt + 1)
+                            )
+                        else:
+                            fail(
+                                i, attempt, "timeout", "TaskTimeout",
+                                f"exceeded task_timeout={policy.task_timeout:g}s",
+                            )
+                    survivors = list(in_flight.values())
+                    in_flight.clear()
+                    _abandon_pool(pool)
+                    for i, attempt, started in survivors:
+                        elapsed[i] += now - started
+                        pending.appendleft((i, attempt))
+                    pool = ProcessPoolExecutor(max_workers=workers)
+    finally:
+        _abandon_pool(pool)
+
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]

@@ -1,0 +1,108 @@
+"""Batch-scan observability: per-task metrics rolled into one summary.
+
+The fault layer makes a genome scan *survive* bad tasks; this module
+makes the survival *visible*.  A :class:`BatchSummary` aggregates what
+each worker reported — runtime, optimizer iterations, likelihood
+evaluations (:class:`~repro.core.flops.FlopCounter`-style accounting
+travels inside each :class:`~repro.parallel.batch.GeneResult`) — plus
+the fault layer's attempt/failure classification, and renders the
+operator-facing report the ``slimcodeml scan`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us)
+    from repro.parallel.batch import GeneResult
+
+__all__ = ["BatchSummary", "summarize_results"]
+
+
+@dataclass
+class BatchSummary:
+    """Aggregated metrics for one batch of gene/branch tasks."""
+
+    n_tasks: int = 0
+    n_ok: int = 0
+    n_failed: int = 0
+    #: Failure kind (``error`` / ``timeout`` / ``pool``) → count.
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Tasks that needed more than one attempt (including eventual failures).
+    n_retried: int = 0
+    total_attempts: int = 0
+    #: Sum of successful workers' wall clock (compute, not queue wait).
+    total_runtime_seconds: float = 0.0
+    total_iterations: int = 0
+    total_evaluations: int = 0
+    #: Caller-measured wall clock for the whole batch (0 = not measured).
+    wall_seconds: float = 0.0
+    #: ``gene_id`` of results loaded from a journal instead of recomputed.
+    resumed_ids: List[str] = field(default_factory=list)
+
+    @property
+    def n_resumed(self) -> int:
+        return len(self.resumed_ids)
+
+    def add(self, result: "GeneResult", resumed: bool = False) -> None:
+        """Fold one task's outcome into the aggregate."""
+        self.n_tasks += 1
+        self.total_attempts += result.attempts
+        if result.attempts > 1:
+            self.n_retried += 1
+        if resumed:
+            self.resumed_ids.append(result.gene_id)
+        if result.failed:
+            self.n_failed += 1
+            kind = result.failure.kind if result.failure is not None else "error"
+            self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
+        else:
+            self.n_ok += 1
+            self.total_runtime_seconds += result.runtime_seconds
+            self.total_iterations += result.iterations
+            self.total_evaluations += result.n_evaluations
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"tasks      : {self.n_tasks} total, {self.n_ok} ok, {self.n_failed} failed"
+            + (f", {self.n_resumed} resumed from journal" if self.n_resumed else ""),
+        ]
+        if self.failures_by_kind:
+            kinds = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.failures_by_kind.items())
+            )
+            lines.append(f"failures   : {kinds}")
+        lines.append(
+            f"attempts   : {self.total_attempts} "
+            f"({self.n_retried} task{'s' if self.n_retried != 1 else ''} retried)"
+        )
+        lines.append(
+            f"compute    : {self.total_runtime_seconds:.1f} s across workers, "
+            f"{self.total_iterations} optimizer iterations, "
+            f"{self.total_evaluations} likelihood evaluations"
+        )
+        if self.wall_seconds > 0:
+            line = f"wall clock : {self.wall_seconds:.1f} s"
+            if not self.resumed_ids:
+                # Ratio is meaningless when some compute came from a journal.
+                line += (
+                    f" ({self.total_runtime_seconds / self.wall_seconds:.1f}x "
+                    "parallel efficiency)"
+                )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def summarize_results(
+    results: Iterable["GeneResult"],
+    wall_seconds: float = 0.0,
+    resumed_ids: Iterable[str] = (),
+) -> BatchSummary:
+    """Build a :class:`BatchSummary` from finished results."""
+    resumed = set(resumed_ids)
+    summary = BatchSummary(wall_seconds=wall_seconds)
+    for result in results:
+        summary.add(result, resumed=result.gene_id in resumed)
+    return summary

@@ -12,6 +12,7 @@ class TestParser:
             ["run", "--seqfile", "a", "--treefile", "b"],
             ["simulate", "--prefix", "x"],
             ["datasets", "--outdir", "d"],
+            ["scan", "--seqfile", "a", "--treefile", "b"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -82,6 +83,43 @@ class TestRun:
         rc = main(["run", "--ctl", str(ctl)])
         assert rc == 0
         assert "engine: codeml" in capsys.readouterr().out
+
+
+class TestScan:
+    def _argv(self, tiny_dataset, *extra):
+        return [
+            "scan",
+            "--seqfile", str(tiny_dataset) + ".phy",
+            "--treefile", str(tiny_dataset) + ".nwk",
+            "--internal-only",
+            "--max-iterations", "1",
+            *extra,
+        ]
+
+    def test_scan_end_to_end(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "branch scan" in out
+        assert "p (chi2_1)" in out
+        assert "tasks" in out and "likelihood evaluations" in out  # summary block
+
+    def test_scan_journal_and_resume(self, tiny_dataset, tmp_path, capsys):
+        journal = tmp_path / "scan.jsonl"
+        rc = main(self._argv(tiny_dataset, "--journal", str(journal)))
+        assert rc == 0
+        assert journal.exists()
+        capsys.readouterr()
+        rc = main(self._argv(tiny_dataset, "--journal", str(journal), "--resume"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
+
+    def test_scan_report_to_file(self, tiny_dataset, tmp_path):
+        out = tmp_path / "scan.txt"
+        rc = main(self._argv(tiny_dataset, "--out", str(out)))
+        assert rc == 0
+        assert "branch scan" in out.read_text()
 
 
 class TestDatasets:

@@ -1,13 +1,21 @@
-"""Failure injection: malformed inputs fail loudly with useful messages."""
+"""Failure injection: malformed inputs fail loudly with useful messages,
+and interrupted batch runs resume from their journal."""
+
+import subprocess
+import sys
+import textwrap
 
 import numpy as np
 import pytest
 
 from repro.alignment.msa import CodonAlignment
+from repro.alignment.simulate import simulate_alignment
 from repro.codon.matrix import build_rate_matrix
 from repro.core.engine import make_engine
+from repro.io.results_io import ResultJournal
 from repro.models.branch_site import BranchSiteModelA
 from repro.models.m0 import M0Model
+from repro.parallel.batch import GeneJob, analyze_genes
 from repro.trees.newick import parse_newick
 
 
@@ -112,3 +120,104 @@ class TestOptimizerRobustness:
         assert np.isfinite(fit.lnl)
         # Invariant data: branch lengths driven toward zero.
         assert fit.branch_lengths.sum() < 0.5 * tree.total_tree_length()
+
+
+class TestKillAndResume:
+    """A batch killed mid-run leaves a journal that resumes correctly."""
+
+    def _jobs(self, tree, n=4):
+        sim = simulate_alignment(
+            tree, BranchSiteModelA(),
+            {"kappa": 2.2, "omega0": 0.2, "omega2": 4.0, "p0": 0.5, "p1": 0.3},
+            n_codons=40, seed=9,
+        )
+        return [GeneJob.from_objects(f"g{k}", tree, sim.alignment) for k in range(n)]
+
+    def test_resume_from_partial_journal(self, tree, tmp_path):
+        journal = tmp_path / "scan.jsonl"
+        jobs = self._jobs(tree, n=4)
+        # Simulate the kill: a first run journalled g0/g1 before dying.
+        full = analyze_genes(jobs, processes=1, max_iterations=1, seed=3)
+        with ResultJournal(str(journal)) as sink:
+            sink.append(full[0])
+            sink.append(full[1])
+        resumed = analyze_genes(jobs, processes=1, max_iterations=1, seed=3,
+                                journal=str(journal), resume=True)
+        assert all(not r.failed for r in resumed)
+        # g0/g1 loaded verbatim; g2/g3 recomputed with their original
+        # per-gene seeds, hence identical to the uninterrupted run.
+        for k in range(4):
+            assert resumed[k].lnl1 == full[k].lnl1
+            assert resumed[k].n_evaluations == full[k].n_evaluations
+        # The journal now also holds the resumed genes.
+        assert set(ResultJournal(str(journal)).completed()) == {"g0", "g1", "g2", "g3"}
+
+    def test_resume_after_midwrite_kill_drops_torn_record(self, tree, tmp_path):
+        journal = tmp_path / "scan.jsonl"
+        jobs = self._jobs(tree, n=3)
+        full = analyze_genes(jobs, processes=1, max_iterations=1, seed=3)
+        with ResultJournal(str(journal)) as sink:
+            sink.append(full[0])
+        # The kill landed mid-write: g1's record is torn.
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "kind": "gene_result", "gene_id": "g1", "lnl0"')
+        resumed = analyze_genes(jobs, processes=1, max_iterations=1, seed=3,
+                                journal=str(journal), resume=True)
+        assert all(not r.failed for r in resumed)
+        assert resumed[1].lnl1 == full[1].lnl1  # recomputed, not trusted
+
+    @pytest.mark.slow
+    def test_sigkill_mid_batch_then_resume(self, tree, tmp_path):
+        """Real kill: a subprocess scan is SIGKILLed after the first
+        journal record lands; a resumed run completes the batch."""
+        journal = tmp_path / "scan.jsonl"
+        script = textwrap.dedent("""
+            import sys, time
+            from repro.alignment.simulate import simulate_alignment
+            from repro.models.branch_site import BranchSiteModelA
+            from repro.parallel.batch import GeneJob, _run_gene, analyze_genes
+            from repro.trees.newick import parse_newick
+
+            tree = parse_newick("((A:0.2,B:0.1):0.08 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+            sim = simulate_alignment(
+                tree, BranchSiteModelA(),
+                {"kappa": 2.2, "omega0": 0.2, "omega2": 4.0, "p0": 0.5, "p1": 0.3},
+                n_codons=40, seed=9,
+            )
+            jobs = [GeneJob.from_objects(f"g{k}", tree, sim.alignment) for k in range(4)]
+
+            def slow_worker(args):
+                res = _run_gene(args)
+                if args[0].gene_id != "g0":
+                    time.sleep(60.0)  # parent kills us long before this returns
+                return res
+
+            print("READY", flush=True)
+            analyze_genes(jobs, processes=1, max_iterations=1, seed=3,
+                          journal=sys.argv[1], worker=slow_worker)
+        """)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(journal)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            # Wait for the first durable record, then kill mid-batch.
+            deadline = 60.0
+            import time as _time
+            while deadline > 0 and len(ResultJournal(str(journal)).load()) < 1:
+                _time.sleep(0.2)
+                deadline -= 0.2
+            assert len(ResultJournal(str(journal)).load()) >= 1
+        finally:
+            proc.kill()
+            proc.wait()
+
+        done_before = set(ResultJournal(str(journal)).completed())
+        assert "g0" in done_before and len(done_before) < 4
+
+        jobs = self._jobs(tree, n=4)
+        resumed = analyze_genes(jobs, processes=1, max_iterations=1, seed=3,
+                                journal=str(journal), resume=True)
+        assert all(not r.failed for r in resumed)
+        assert set(ResultJournal(str(journal)).completed()) == {"g0", "g1", "g2", "g3"}

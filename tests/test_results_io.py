@@ -7,8 +7,11 @@ import pytest
 
 from repro.io.results_io import (
     SCHEMA_VERSION,
+    ResultJournal,
     fit_from_dict,
     fit_to_dict,
+    gene_result_from_dict,
+    gene_result_to_dict,
     read_json_result,
     branch_site_test_from_dict,
     branch_site_test_to_dict,
@@ -16,6 +19,24 @@ from repro.io.results_io import (
 )
 from repro.optimize.lrt import likelihood_ratio_test
 from repro.optimize.ml import BranchSiteTest, FitResult
+from repro.parallel.batch import GeneResult
+from repro.parallel.faults import TaskFailure
+
+
+def _ok_result(gene_id="g1", lnl1=-100.0, n_evaluations=42):
+    return GeneResult(
+        gene_id=gene_id, lnl0=-105.0, lnl1=lnl1, statistic=10.0,
+        pvalue=0.0015, iterations=12, runtime_seconds=0.8,
+        n_evaluations=n_evaluations, attempts=1,
+    )
+
+
+def _failed_result(gene_id="g1", kind="error"):
+    failure = TaskFailure(
+        task_id=gene_id, kind=kind, error_type="RuntimeError",
+        message="boom", attempts=2,
+    )
+    return GeneResult.from_failure(failure)
 
 
 @pytest.fixture
@@ -113,3 +134,109 @@ class TestFiles:
         write_json_result(path, fit)
         payload = json.loads(path.read_text())
         assert payload["schema"] == SCHEMA_VERSION
+
+
+class TestGeneResultRoundTrip:
+    def test_success_roundtrip(self):
+        res = _ok_result()
+        back = gene_result_from_dict(gene_result_to_dict(res))
+        assert back.gene_id == res.gene_id
+        assert back.lnl1 == res.lnl1
+        assert back.n_evaluations == res.n_evaluations
+        assert not back.failed
+        assert back.failure is None
+
+    def test_failure_roundtrip_keeps_structure(self):
+        res = _failed_result(kind="timeout")
+        payload = gene_result_to_dict(res)
+        # NaN numerics must serialise as JSON null, not the invalid NaN token.
+        text = json.dumps(payload)
+        assert "NaN" not in text
+        back = gene_result_from_dict(json.loads(text))
+        assert back.failed
+        assert np.isnan(back.lnl1) and np.isnan(back.pvalue)
+        assert back.failure.kind == "timeout"
+        assert back.failure.attempts == 2
+        assert "boom" in back.error
+
+    def test_kind_checked(self):
+        payload = gene_result_to_dict(_ok_result())
+        payload["kind"] = "fit"
+        with pytest.raises(ValueError, match="gene_result"):
+            gene_result_from_dict(payload)
+
+
+class TestResultJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+            journal.append(_failed_result("g1"))
+            journal.append(_ok_result("g2"))
+        entries = ResultJournal(str(path)).load()
+        assert [e.gene_id for e in entries] == ["g0", "g1", "g2"]
+        assert [e.failed for e in entries] == [False, True, False]
+
+    def test_completed_excludes_failures(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+            journal.append(_failed_result("g1"))
+        done = ResultJournal(str(path)).completed()
+        assert set(done) == {"g0"}
+
+    def test_later_failure_supersedes_success(self, tmp_path):
+        # A re-run that failed must force recomputation even if an older
+        # success for the same gene sits earlier in the journal.
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+            journal.append(_failed_result("g0"))
+        assert ResultJournal(str(path)).completed() == {}
+
+    def test_later_success_supersedes_earlier(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0", lnl1=-100.0))
+            journal.append(_ok_result("g0", lnl1=-90.0))
+        done = ResultJournal(str(path)).completed()
+        assert done["g0"].lnl1 == -90.0
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        # A killed run can leave a half-written last record; resume must
+        # drop it silently and treat that gene as unfinished.
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+            journal.append(_ok_result("g1"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 1, "kind": "gene_result", "gene_id": "g2"')
+        entries = ResultJournal(str(path)).load()
+        assert [e.gene_id for e in entries] == ["g0", "g1"]
+        assert set(ResultJournal(str(path)).completed()) == {"g0", "g1"}
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g1"))
+        with pytest.raises(ValueError, match="corrupt journal"):
+            ResultJournal(str(path)).load()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = ResultJournal(str(tmp_path / "absent.jsonl"))
+        assert journal.load() == []
+        assert journal.completed() == {}
+
+    def test_append_is_durable_per_record(self, tmp_path):
+        # Each append must be visible to a concurrent reader immediately
+        # (flush+fsync) — that is the whole point of the checkpoint.
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+            assert len(ResultJournal(str(path)).load()) == 1
+            journal.append(_ok_result("g1"))
+            assert len(ResultJournal(str(path)).load()) == 2
