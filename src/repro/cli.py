@@ -9,7 +9,9 @@ LRT, optionally computes BEB site probabilities, and writes an
 Subcommands
 -----------
 ``run``        one branch-site analysis (H0 + H1 + LRT [+ BEB])
-``scan``       fault-tolerant branch scan of one gene (journal/resume)
+``scan``       fault-tolerant branch scan of one gene (journal/resume),
+               over an in-process, process-pool or socket executor
+``worker``     serve tasks to a ``scan --executor socket`` on any host
 ``simulate``   generate a synthetic dataset (tree + alignment)
 ``datasets``   materialise the Table II stand-in datasets to disk
 """
@@ -85,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip branches already successful in --journal")
     scan.add_argument("--out", default="-", help="report destination ('-' = stdout)")
     scan.add_argument("--quiet", action="store_true", help="suppress per-branch progress")
+    scan.add_argument(
+        "--executor", default=None, choices=["inline", "pool", "socket"],
+        help="execution substrate (default: inline for --processes 1, else pool)",
+    )
+    scan.add_argument("--bind", default="127.0.0.1:0",
+                      help="host:port the socket executor listens on "
+                           "(port 0 = ephemeral, printed at startup)")
+    scan.add_argument("--min-workers", type=int, default=1,
+                      help="socket executor: workers to wait for before scanning")
+    scan.add_argument("--worker-wait", type=float, default=30.0,
+                      help="socket executor: seconds to wait for --min-workers")
+
+    wrk = sub.add_parser(
+        "worker",
+        help="serve scan tasks from a 'scan --executor socket' coordinator",
+    )
+    wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="coordinator address (the scan's --bind)")
+    wrk.add_argument("--name", default=None, help="worker identity in scan metrics")
+    wrk.add_argument("--max-tasks", type=int, default=None,
+                     help="exit after this many tasks (default: serve until shutdown)")
 
     sim = sub.add_parser("simulate", help="simulate a dataset under branch-site model A")
     sim.add_argument("--species", type=int, default=12)
@@ -171,6 +194,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.parallel.batch import scan_branches
     from repro.parallel.faults import FaultPolicy
 
+    from repro.parallel.executors import make_executor
+
     alignment = read_alignment(args.seqfile)
     tree = _read_tree(args.treefile)
     gene_id = args.gene_id or os.path.splitext(os.path.basename(args.seqfile))[0]
@@ -179,12 +204,37 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         retry_backoff=args.backoff,
     )
-    if args.timeout is not None and args.processes == 1:
+    if args.timeout is not None and args.processes == 1 and args.executor in (None, "inline"):
         print(
-            "warning: --timeout needs --processes > 1 (in-process tasks "
-            "cannot be interrupted); timeout will not be enforced",
+            "warning: --timeout needs worker processes (--processes > 1, or "
+            "--executor pool/socket); in-process tasks cannot be interrupted "
+            "and the timeout will not be enforced",
             file=sys.stderr,
         )
+
+    executor = None
+    if args.executor is not None:
+        try:
+            bind_host, bind_port = args.bind.rsplit(":", 1)
+            executor = make_executor(
+                args.executor,
+                max_workers=args.processes,
+                bind=bind_host,
+                port=int(bind_port),
+                min_workers=args.min_workers,
+                worker_wait=args.worker_wait,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot set up --executor {args.executor}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.executor == "socket":
+            host, port = executor.address
+            print(
+                f"socket executor listening on {host}:{port} — start workers "
+                f"with: slimcodeml worker --connect {host}:{port}",
+                file=sys.stderr,
+            )
     if args.resume and not args.journal:
         print(
             "warning: --resume has no effect without --journal; "
@@ -213,20 +263,29 @@ def _cmd_scan(args: argparse.Namespace) -> int:
               file=sys.stderr)
 
     start = time.perf_counter()
-    scan = scan_branches(
-        gene_id,
-        tree,
-        alignment,
-        engine=args.engine,
-        internal_only=args.internal_only,
-        seed=args.seed,
-        max_iterations=args.max_iterations,
-        processes=args.processes,
-        policy=policy,
-        journal=args.journal,
-        resume=args.resume,
-        on_result=progress,
-    )
+    try:
+        scan = scan_branches(
+            gene_id,
+            tree,
+            alignment,
+            engine=args.engine,
+            internal_only=args.internal_only,
+            seed=args.seed,
+            max_iterations=args.max_iterations,
+            processes=args.processes,
+            policy=policy,
+            journal=args.journal,
+            resume=args.resume,
+            on_result=progress,
+            executor=executor,
+        )
+    except RuntimeError as exc:
+        # e.g. the socket executor never saw its --min-workers register.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if executor is not None:
+            executor.shutdown()
     wall = time.perf_counter() - start
 
     resumed = [r.gene_id for r in scan.gene_results if r.gene_id not in computed_ids]
@@ -254,6 +313,24 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             handle.write(report + "\n")
         print(f"report written to {args.out}")
     return 0 if scan.ok else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.executors.worker import parse_address, run_worker
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        done = run_worker(host, port, name=args.name, max_tasks=args.max_tasks)
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot serve {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker done: {done} task{'s' if done != 1 else ''} served",
+          file=sys.stderr)
+    return 0
 
 
 def _h1_model():
@@ -341,6 +418,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "datasets":

@@ -36,6 +36,14 @@ PathLike = Union[str, os.PathLike]
 #: Bump when the serialised layout changes incompatibly.
 SCHEMA_VERSION = 1
 
+#: Journal format version, recorded in the JSONL header record.  Bump on
+#: *additive* growth (new record keys, new record kinds); the reader
+#: skips unknown keys and unknown kinds, so older journals — including
+#: headerless v1 journals from before this field existed — stay
+#: resumable.  Version 2 added the header itself and per-record worker
+#: identity.
+JOURNAL_VERSION = 2
+
 
 def fit_to_dict(fit: FitResult) -> Dict:
     """Serialise one fit (arrays become lists, floats stay exact via repr)."""
@@ -182,6 +190,7 @@ def gene_result_to_dict(result) -> Dict:
         "attempts": result.attempts,
         "error": result.error,
         "failure": failure,
+        "worker": getattr(result, "worker", None),
     })
 
 
@@ -203,6 +212,9 @@ def gene_result_from_dict(payload: Dict):
             message=raw["message"],
             attempts=int(raw["attempts"]),
         )
+    # Keys this reader does not know (written by a newer library) are
+    # simply not looked at, so journal records can grow new fields
+    # without breaking resume on older code.
     return GeneResult(
         gene_id=payload["gene_id"],
         lnl0=float(payload["lnl0"]),
@@ -215,6 +227,7 @@ def gene_result_from_dict(payload: Dict):
         n_evaluations=int(payload.get("n_evaluations", 0)),
         attempts=int(payload.get("attempts", 1)),
         failure=failure,
+        worker=payload.get("worker"),
     )
 
 
@@ -226,6 +239,14 @@ class ResultJournal:
     scan killed mid-batch leaves a journal from which a resumed run
     recomputes only the unfinished genes.  A truncated final line — the
     signature of a mid-write kill — is tolerated on read.
+
+    A fresh journal starts with a ``journal_header`` record carrying a
+    ``version`` field (:data:`JOURNAL_VERSION`).  The reader skips the
+    header, skips record kinds it does not recognise, and record
+    parsing ignores unknown keys — so journals survive schema growth
+    in both directions: headerless v1 journals resume on this code,
+    and a v2 journal with fields a v1 reader never heard of resumes
+    there too.
     """
 
     def __init__(self, path: PathLike) -> None:
@@ -236,7 +257,16 @@ class ResultJournal:
     def append(self, result) -> None:
         """Durably append one result (non-finite floats survive as JSON nulls)."""
         if self._handle is None:
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
             self._handle = open(self.path, "a", encoding="utf-8")
+            if fresh:
+                header = {
+                    "kind": "journal_header",
+                    "schema": SCHEMA_VERSION,
+                    "version": JOURNAL_VERSION,
+                    "writer": "slimcodeml",
+                }
+                self._handle.write(json.dumps(header, sort_keys=True) + "\n")
         payload = gene_result_to_dict(result)
         self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
         self._handle.flush()
@@ -255,7 +285,13 @@ class ResultJournal:
 
     # -- reading --------------------------------------------------------
     def load(self) -> list:
-        """All parseable results, journal order (later duplicates win on id)."""
+        """All parseable results, journal order (later duplicates win on id).
+
+        Header records and record kinds this reader does not know are
+        skipped (forward compatibility), but a header from a *newer
+        major* journal version is refused outright — the one fence
+        against silently misreading a future incompatible layout.
+        """
         results = []
         if not os.path.exists(self.path):
             return results
@@ -273,6 +309,17 @@ class ResultJournal:
                 raise ValueError(
                     f"{self.path}:{lineno + 1}: corrupt journal record"
                 ) from None
+            kind = payload.get("kind") if isinstance(payload, dict) else None
+            if kind == "journal_header":
+                version = payload.get("version", 1)
+                if isinstance(version, int) and version > JOURNAL_VERSION:
+                    raise ValueError(
+                        f"{self.path}: journal version {version} is newer than "
+                        f"this library supports ({JOURNAL_VERSION})"
+                    )
+                continue
+            if kind != "gene_result":
+                continue  # unknown record kind from a newer writer
             results.append(gene_result_from_dict(payload))
         return results
 

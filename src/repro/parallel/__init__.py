@@ -3,12 +3,19 @@
 The paper's future work (§V-B) is a parallel and distributed CodeML.
 Genome-scale positive-selection scans (Selectome) are embarrassingly
 parallel across genes and across candidate foreground branches; this
-subpackage provides process-pool drivers for both axes with
-deterministic per-task seeding, plus the fault layer that keeps a
-genome-scale batch alive when individual tasks crash, hang, or take a
-worker process down with them (:mod:`repro.parallel.faults`) and the
-metrics aggregation that makes each batch observable
-(:mod:`repro.parallel.metrics`).
+subpackage provides batch drivers for both axes with deterministic
+per-task seeding, layered as:
+
+* :mod:`repro.parallel.executors` — pluggable execution substrates
+  (serial inline, one machine's process pool, or a TCP worker fleet
+  fed by ``slimcodeml worker`` processes) behind one event-oriented
+  ``Executor`` protocol;
+* :mod:`repro.parallel.faults` — the backend-agnostic fault-policy
+  driver (retries, backoff, quarantine-based crash attribution) that
+  keeps a genome-scale batch alive when individual tasks crash, hang,
+  or take their worker down with them;
+* :mod:`repro.parallel.metrics` — the aggregation that makes each
+  batch observable, including per-worker attribution.
 """
 
 from repro.parallel.batch import (
@@ -18,6 +25,14 @@ from repro.parallel.batch import (
     analyze_genes,
     branch_label,
     scan_branches,
+)
+from repro.parallel.executors import (
+    Executor,
+    ExecutorEvent,
+    InlineExecutor,
+    ProcessPoolBackend,
+    SocketExecutor,
+    make_executor,
 )
 from repro.parallel.faults import FaultPolicy, TaskFailure, TaskOutcome, run_tasks
 from repro.parallel.metrics import BatchSummary, summarize_results
@@ -29,6 +44,12 @@ __all__ = [
     "analyze_genes",
     "branch_label",
     "scan_branches",
+    "Executor",
+    "ExecutorEvent",
+    "InlineExecutor",
+    "ProcessPoolBackend",
+    "SocketExecutor",
+    "make_executor",
     "FaultPolicy",
     "TaskFailure",
     "TaskOutcome",

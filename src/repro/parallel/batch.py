@@ -35,6 +35,7 @@ from repro.core.engine import make_engine
 from repro.io.results_io import ResultJournal
 from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
+from repro.parallel.executors.base import Executor
 from repro.parallel.faults import FaultPolicy, TaskFailure, TaskOutcome, run_tasks
 from repro.parallel.metrics import BatchSummary
 from repro.trees.newick import parse_newick, write_newick
@@ -91,13 +92,17 @@ class GeneResult:
     n_evaluations: int = 0
     attempts: int = 1
     failure: Optional[TaskFailure] = None
+    #: Backend identity of the worker that produced the terminal attempt
+    #: (``pid:<n>`` for the process pool, the registered worker id for the
+    #: socket backend, ``None`` when unattributable).
+    worker: Optional[str] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
 
     @classmethod
-    def from_failure(cls, failure: TaskFailure) -> "GeneResult":
+    def from_failure(cls, failure: TaskFailure, worker: Optional[str] = None) -> "GeneResult":
         return cls(
             gene_id=failure.task_id,
             lnl0=float("nan"),
@@ -109,6 +114,7 @@ class GeneResult:
             error=f"{failure.error_type}: {failure.message}",
             attempts=failure.attempts,
             failure=failure,
+            worker=worker,
         )
 
 
@@ -150,14 +156,16 @@ def analyze_genes(
     resume: bool = False,
     worker: Optional[Callable[[Tuple[GeneJob, str, int, int]], GeneResult]] = None,
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
+    executor: Optional[Executor] = None,
 ) -> List[GeneResult]:
-    """Run the branch-site test for every gene over a process pool.
+    """Run the branch-site test for every gene over an executor.
 
     Each gene ``k`` uses seed ``seed + k`` so the batch is reproducible
-    regardless of worker scheduling — and so a resumed run recomputes a
-    gene with exactly the seed the interrupted run would have used.
-    With ``processes = 1`` (or a single job and no timeout) everything
-    runs in-process, which is also what the tests use to stay hermetic.
+    regardless of executor backend, worker scheduling and worker count —
+    and so a resumed run recomputes a gene with exactly the seed the
+    interrupted run would have used.  With ``processes = 1`` (or a
+    single job and no timeout) everything runs in-process, which is
+    also what the tests use to stay hermetic.
 
     Parameters
     ----------
@@ -177,6 +185,12 @@ def analyze_genes(
     on_result:
         ``(job_index, result)`` hook fired in completion order — drives
         CLI progress reporting.
+    executor:
+        Execution substrate (see :mod:`repro.parallel.executors`); when
+        given it overrides ``processes``.  A caller-provided executor is
+        *not* shut down, so e.g. one connected
+        :class:`~repro.parallel.executors.sockets.SocketExecutor` fleet
+        can serve a scan and then its journal resume.
 
     Returns
     -------
@@ -208,16 +222,17 @@ def analyze_genes(
             if outcome.ok:
                 result = outcome.result
                 result.attempts = outcome.attempts
+                result.worker = outcome.worker
             else:
-                result = GeneResult.from_failure(outcome.failure)
+                result = GeneResult.from_failure(outcome.failure, worker=outcome.worker)
             results[k] = result
             if sink is not None:
                 sink.append(result)
             if on_result is not None:
                 on_result(k, result)
 
-        in_process = processes == 1 or (
-            len(payloads) <= 1 and policy.task_timeout is None
+        in_process = executor is None and (
+            processes == 1 or (len(payloads) <= 1 and policy.task_timeout is None)
         )
         run_tasks(
             run,
@@ -227,6 +242,7 @@ def analyze_genes(
             max_workers=processes,
             on_outcome=handle,
             in_process=in_process,
+            executor=executor,
         )
     finally:
         if sink is not None:
@@ -310,6 +326,7 @@ def scan_branches(
     resume: bool = False,
     worker: Optional[Callable] = None,
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
+    executor: Optional[Executor] = None,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -339,6 +356,7 @@ def scan_branches(
         resume=resume,
         worker=worker,
         on_result=on_result,
+        executor=executor,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

@@ -1,0 +1,37 @@
+"""Pluggable execution substrates for the fault-tolerant scan layer.
+
+The policy driver (:func:`repro.parallel.faults.run_tasks`) is
+backend-agnostic; these are the conforming backends:
+
+* :class:`InlineExecutor` — serial, in-process (tests, debugging);
+* :class:`ProcessPoolBackend` — one machine's worker processes
+  (PR 1's behaviour, preserved);
+* :class:`SocketExecutor` — a TCP work queue served to
+  ``slimcodeml worker`` processes on any reachable host.
+
+See :mod:`repro.parallel.executors.base` for the protocol and
+DESIGN.md §"Executor protocol" for why crash attribution lives in the
+driver rather than in each backend.
+"""
+
+from repro.parallel.executors.base import (
+    EVENT_KINDS,
+    Executor,
+    ExecutorEvent,
+    make_executor,
+)
+from repro.parallel.executors.inline import InlineExecutor
+from repro.parallel.executors.pool import ProcessPoolBackend
+from repro.parallel.executors.sockets import SocketExecutor
+from repro.parallel.executors.worker import run_worker
+
+__all__ = [
+    "EVENT_KINDS",
+    "Executor",
+    "ExecutorEvent",
+    "make_executor",
+    "InlineExecutor",
+    "ProcessPoolBackend",
+    "SocketExecutor",
+    "run_worker",
+]

@@ -1,0 +1,242 @@
+"""Process-pool backend: PR 1's ``ProcessPoolExecutor`` substrate.
+
+Behaviour is preserved from the pre-refactor ``run_tasks`` pool path:
+
+* in-flight is bounded by the worker count (the driver enforces this
+  via :meth:`capacity`), so per-task clocks start at submission;
+* a hung task is abandoned at its deadline — the pool (and its stuck
+  worker processes) is terminated and every *surviving* in-flight task
+  is transparently resubmitted to a fresh pool at no attempt cost;
+* a worker crash poisons every in-flight future
+  (:class:`BrokenProcessPool`), which this backend reports as
+  ``crash`` events with ``attributed=False`` — the driver's quarantine
+  round then calls :meth:`submit` with ``isolated=True`` to replay
+  each lost task in a private single-worker pool, where a second crash
+  *is* attributable (``attributed=True``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.parallel.executors.base import Executor, ExecutorEvent
+
+__all__ = ["ProcessPoolBackend"]
+
+#: Floor for pool-wait polling so a just-expired deadline cannot spin.
+_MIN_WAIT = 0.02
+
+
+def _invoke(fn: Callable[[object], object], payload: object):
+    """Worker-side wrapper: returns ``(worker_id, result)`` so successes
+    carry the pid that computed them (per-worker metrics attribution)."""
+    return f"pid:{os.getpid()}", fn(payload)
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, terminating any stuck workers."""
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+
+
+@dataclass
+class _Entry:
+    tag: int
+    payload: object
+    future: Future
+    started: float
+    deadline: Optional[float]
+    timeout: Optional[float]
+    isolated: bool
+    qpool: Optional[ProcessPoolExecutor] = None
+    #: Wall clock accumulated on earlier pools (survivor resubmissions).
+    carried: float = 0.0
+    extra: Dict = field(default_factory=dict)
+
+
+class ProcessPoolBackend(Executor):
+    """One machine's worth of worker processes behind the driver."""
+
+    name = "pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._workers = 1
+        self._fn: Optional[Callable[[object], object]] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._entries: Dict[Future, _Entry] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
+        self._fn = fn
+        workers = self._max_workers if self._max_workers is not None else (os.cpu_count() or 1)
+        self._workers = max(1, min(workers, max(1, n_tasks)))
+
+    def capacity(self) -> int:
+        return self._workers
+
+    def shutdown(self) -> None:
+        for entry in list(self._entries.values()):
+            if entry.qpool is not None:
+                _abandon_pool(entry.qpool)
+        self._entries.clear()
+        if self._pool is not None:
+            _abandon_pool(self._pool)
+            self._pool = None
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        tag: int,
+        payload: object,
+        timeout: Optional[float] = None,
+        isolated: bool = False,
+    ) -> None:
+        assert self._fn is not None, "submit before start"
+        now = time.monotonic()
+        if isolated:
+            qpool = ProcessPoolExecutor(max_workers=1)
+            future = qpool.submit(_invoke, self._fn, payload)
+            self._entries[future] = _Entry(
+                tag, payload, future, now,
+                now + timeout if timeout is not None else None,
+                timeout, True, qpool=qpool,
+            )
+            return
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        future = self._pool.submit(_invoke, self._fn, payload)
+        self._entries[future] = _Entry(
+            tag, payload, future, now,
+            now + timeout if timeout is not None else None,
+            timeout, False,
+        )
+
+    # -- event collection ----------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> List[ExecutorEvent]:
+        if not self._entries:
+            return []
+        wait_for = timeout
+        deadlines = [e.deadline for e in self._entries.values() if e.deadline is not None]
+        if deadlines:
+            ripe = max(_MIN_WAIT, min(deadlines) - time.monotonic())
+            wait_for = ripe if wait_for is None else min(wait_for, ripe)
+        elif wait_for is not None:
+            wait_for = max(_MIN_WAIT, wait_for)
+
+        done, _ = wait(set(self._entries), timeout=wait_for, return_when=FIRST_COMPLETED)
+
+        events: List[ExecutorEvent] = []
+        pool_broken = False
+        now = time.monotonic()
+        for future in done:
+            entry = self._entries[future]
+            exc = future.exception()
+            if isinstance(exc, BrokenProcessPool):
+                if entry.isolated:
+                    # A private single-worker pool died: exact attribution.
+                    del self._entries[future]
+                    _abandon_pool(entry.qpool)
+                    events.append(
+                        ExecutorEvent(
+                            tag=entry.tag,
+                            kind="crash",
+                            error_type="BrokenProcessPool",
+                            message="worker process died (isolated in quarantine)",
+                            elapsed=entry.carried + (now - entry.started),
+                            attributed=True,
+                        )
+                    )
+                else:
+                    # The whole shared pool is poisoned; handled below
+                    # together with the rest of the in-flight set.
+                    pool_broken = True
+                continue
+            del self._entries[future]
+            elapsed = entry.carried + (now - entry.started)
+            if entry.isolated and entry.qpool is not None:
+                _abandon_pool(entry.qpool)
+            if exc is None:
+                worker, result = future.result()
+                events.append(
+                    ExecutorEvent(tag=entry.tag, kind="ok", result=result,
+                                  elapsed=elapsed, worker=worker)
+                )
+            else:
+                events.append(
+                    ExecutorEvent(
+                        tag=entry.tag,
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        elapsed=elapsed,
+                    )
+                )
+
+        if pool_broken or getattr(self._pool, "_broken", False):
+            # Every task on the shared pool was lost with it; the
+            # culprit is indistinguishable from its victims here, so
+            # signal unattributed crashes and let the driver quarantine.
+            lost = [e for e in self._entries.values() if not e.isolated]
+            for entry in lost:
+                del self._entries[entry.future]
+                events.append(
+                    ExecutorEvent(
+                        tag=entry.tag,
+                        kind="crash",
+                        error_type="BrokenProcessPool",
+                        message="worker process crashed and poisoned the pool",
+                        elapsed=entry.carried + (now - entry.started),
+                        attributed=False,
+                    )
+                )
+            if self._pool is not None:
+                _abandon_pool(self._pool)
+                self._pool = None  # rebuilt lazily on the next submit
+            return events
+
+        expired = [
+            e for e in self._entries.values()
+            if e.deadline is not None and now > e.deadline
+        ]
+        if expired:
+            for entry in expired:
+                del self._entries[entry.future]
+                events.append(
+                    ExecutorEvent(
+                        tag=entry.tag,
+                        kind="timeout",
+                        error_type="TaskTimeout",
+                        message=f"exceeded task_timeout={entry.timeout:g}s",
+                        elapsed=entry.carried + (now - entry.started),
+                    )
+                )
+                if entry.isolated and entry.qpool is not None:
+                    _abandon_pool(entry.qpool)
+            # A stuck worker cannot be cancelled: if any expired task
+            # lived on the shared pool, abandon it (terminating the
+            # hung processes) and move every *surviving* shared-pool
+            # task to a fresh pool at no attempt cost.
+            if any(not e.isolated for e in expired):
+                survivors = [e for e in self._entries.values() if not e.isolated]
+                for entry in survivors:
+                    del self._entries[entry.future]
+                if self._pool is not None:
+                    _abandon_pool(self._pool)
+                self._pool = ProcessPoolExecutor(max_workers=self._workers)
+                for entry in survivors:
+                    entry.carried += now - entry.started
+                    entry.started = time.monotonic()
+                    if entry.timeout is not None:
+                        entry.deadline = entry.started + entry.timeout
+                    entry.future = self._pool.submit(_invoke, self._fn, entry.payload)
+                    self._entries[entry.future] = entry
+        return events

@@ -1,0 +1,392 @@
+"""TCP work-queue executor: ``slimcodeml worker`` processes pull tasks.
+
+The scan process hosts a small TCP server.  Worker processes — started
+by the operator on any host that can reach it, via ``slimcodeml worker
+--connect host:port`` — register, heartbeat, pull pickled tasks one at
+a time, and stream results back.  Because a worker holds at most one
+task, every worker death is *attributable*: the backend emits
+``crash`` events with ``attributed=True`` and the driver's quarantine
+machinery never needs to run (the ``isolated`` submit flag is a no-op
+here).
+
+Fault taxonomy mapping (onto :class:`repro.parallel.faults.FaultPolicy`):
+
+* worker raises              → ``error`` event (retried per policy);
+* worker killed / vanishes   → ``crash`` event (EOF or stale
+  heartbeat), surfaced as a ``pool``-kind :class:`TaskFailure`;
+* task exceeds its deadline  → ``timeout`` event; the worker is
+  disconnected (it may be wedged) and gets no further tasks;
+* every worker gone and none → queued tasks fail as crashes after a
+  reconnects within the grace   ``worker_wait`` grace period, so the
+                                batch always terminates.
+
+Trust model: frames are pickled (see :mod:`.wire`) — only run workers
+you control, on networks you control, exactly as you would with
+``multiprocessing`` across hosts.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import select
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.executors.base import Executor, ExecutorEvent
+from repro.parallel.executors.wire import WireError, recv_msg, send_msg
+
+__all__ = ["SocketExecutor"]
+
+#: How often idle connection handlers poll for tasks / consume heartbeats.
+_POLL = 0.2
+
+
+@dataclass
+class _Task:
+    tag: int
+    payload: object
+    timeout: Optional[float]
+
+
+class _WorkerConn:
+    """Server-side state for one connected worker."""
+
+    def __init__(self, conn: socket.socket, addr: Tuple[str, int], worker_id: str):
+        self.conn = conn
+        self.addr = addr
+        self.worker_id = worker_id
+        self.last_seen = time.monotonic()
+
+
+class SocketExecutor(Executor):
+    """Distributed work-queue backend behind the fault-policy driver.
+
+    Parameters
+    ----------
+    bind, port:
+        Listen address.  ``port=0`` picks an ephemeral port; read it
+        back from :attr:`address` before launching workers.
+    min_workers:
+        How many registered workers :meth:`start` waits for before the
+        batch begins.
+    worker_wait:
+        Seconds to wait in :meth:`start` for ``min_workers``, and the
+        grace period before a batch with *zero* connected workers
+        fails its queued tasks rather than stalling forever.
+    heartbeat_timeout:
+        A busy worker silent for this long (no result, no heartbeat)
+        is declared dead — covers network partitions and frozen hosts;
+        a killed local worker is caught faster via EOF.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        worker_wait: float = 30.0,
+        heartbeat_timeout: float = 15.0,
+    ) -> None:
+        if min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        self.min_workers = min_workers
+        self.worker_wait = worker_wait
+        self.heartbeat_timeout = heartbeat_timeout
+
+        self._fn_blob: Optional[bytes] = None
+        self._lock = threading.Lock()
+        self._task_cond = threading.Condition(self._lock)
+        self._tasks: deque = deque()  # undispatched _Task records
+        self._events: "queue.Queue[ExecutorEvent]" = queue.Queue()
+        self._workers: Dict[str, _WorkerConn] = {}
+        self._n_registered = 0
+        self._last_worker_change = time.monotonic()
+        self._shutdown = False
+
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((bind, port))
+        self._server.listen()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="slimcodeml-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- public surface ------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` workers should connect to."""
+        return self._server.getsockname()[:2]
+
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
+        self._fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+        deadline = time.monotonic() + self.worker_wait
+        while self.n_workers() < self.min_workers:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"socket executor: {self.min_workers} worker(s) required but "
+                    f"only {self.n_workers()} connected within {self.worker_wait:g}s "
+                    f"(start them with: slimcodeml worker --connect "
+                    f"{self.address[0]}:{self.address[1]})"
+                )
+            time.sleep(0.05)
+
+    def capacity(self) -> int:
+        # One task per worker keeps the dispatch clock honest (a task's
+        # deadline starts when a worker picks it up, and the queue
+        # never hides more work than the fleet can start immediately).
+        return max(1, self.n_workers())
+
+    def submit(
+        self,
+        tag: int,
+        payload: object,
+        timeout: Optional[float] = None,
+        isolated: bool = False,
+    ) -> None:
+        # ``isolated`` is a no-op: one task per worker means every
+        # dispatch is already crash-attributable.
+        with self._task_cond:
+            self._tasks.append(_Task(tag, payload, timeout))
+            self._task_cond.notify()
+
+    def drain(self, timeout: Optional[float] = None) -> List[ExecutorEvent]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        events: List[ExecutorEvent] = []
+        while True:
+            try:
+                # Bounded slices so the no-worker grace check runs even
+                # when the driver asked for an unbounded drain.
+                slice_ = _POLL if deadline is None else max(
+                    0.0, min(_POLL, deadline - time.monotonic())
+                )
+                events.append(self._events.get(timeout=slice_))
+                break
+            except queue.Empty:
+                events.extend(self._fail_orphans_if_deserted())
+                if events:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    return events
+        while True:  # sweep whatever else already landed
+            try:
+                events.append(self._events.get_nowait())
+            except queue.Empty:
+                return events
+
+    def shutdown(self) -> None:
+        with self._task_cond:
+            self._shutdown = True
+            self._task_cond.notify_all()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    # -- internals -----------------------------------------------------
+    def _fail_orphans_if_deserted(self) -> List[ExecutorEvent]:
+        """Fail queued tasks once no worker has been around for a while."""
+        with self._lock:
+            if self._workers or not self._tasks:
+                return []
+            if time.monotonic() - self._last_worker_change < self.worker_wait:
+                return []
+            orphans = list(self._tasks)
+            self._tasks.clear()
+        return [
+            ExecutorEvent(
+                tag=task.tag,
+                kind="crash",
+                error_type="NoWorkers",
+                message=(
+                    "no connected workers "
+                    f"(none reconnected within {self.worker_wait:g}s)"
+                ),
+                attributed=True,
+            )
+            for task in orphans
+        ]
+
+    def _accept_loop(self) -> None:
+        while not self._shutdown:
+            try:
+                conn, addr = self._server.accept()
+            except OSError:
+                return  # server socket closed by shutdown
+            threading.Thread(
+                target=self._serve_worker, args=(conn, addr),
+                name=f"slimcodeml-worker-conn-{addr[1]}", daemon=True,
+            ).start()
+
+    def _register(self, conn: socket.socket, addr: Tuple[str, int]) -> Optional[_WorkerConn]:
+        try:
+            conn.settimeout(self.heartbeat_timeout)
+            hello = recv_msg(conn)
+        except (OSError, WireError):
+            conn.close()
+            return None
+        if not isinstance(hello, dict) or hello.get("type") != "hello":
+            conn.close()
+            return None
+        with self._lock:
+            self._n_registered += 1
+            base = hello.get("worker") or f"{addr[0]}:{addr[1]}"
+            worker_id = f"{base}#{self._n_registered}"
+            worker = _WorkerConn(conn, addr, worker_id)
+            self._workers[worker_id] = worker
+            self._last_worker_change = time.monotonic()
+        return worker
+
+    def _unregister(self, worker: _WorkerConn) -> None:
+        with self._lock:
+            self._workers.pop(worker.worker_id, None)
+            self._last_worker_change = time.monotonic()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _claim_task(self) -> Optional[_Task]:
+        with self._task_cond:
+            if self._tasks:
+                return self._tasks.popleft()
+        return None
+
+    def _requeue(self, task: _Task) -> None:
+        with self._task_cond:
+            self._tasks.appendleft(task)
+            self._task_cond.notify()
+
+    def _serve_worker(self, conn: socket.socket, addr: Tuple[str, int]) -> None:
+        worker = self._register(conn, addr)
+        if worker is None:
+            return
+        try:
+            while not self._shutdown:
+                task = self._claim_task()
+                if task is None:
+                    # Idle: consume heartbeats and notice an EOF (a
+                    # worker killed between tasks) without holding a task.
+                    readable, _, _ = select.select([conn], [], [], _POLL)
+                    if readable:
+                        try:
+                            # A heartbeat frame that arrives in pieces
+                            # must not count its slow tail as a dead
+                            # worker; allow the full heartbeat window.
+                            conn.settimeout(self.heartbeat_timeout)
+                            msg = recv_msg(conn)
+                        except (OSError, WireError):
+                            return
+                        if msg is None:
+                            return  # worker left while idle: no task lost
+                    continue
+                if not self._run_one(worker, task):
+                    return
+            try:
+                send_msg(conn, {"type": "shutdown"})
+            except OSError:
+                pass
+        finally:
+            self._unregister(worker)
+
+    def _run_one(self, worker: _WorkerConn, task: _Task) -> bool:
+        """Dispatch one task and await its terminal message.
+
+        Returns False when the connection must be dropped (dead or
+        wedged worker); the corresponding event has been emitted.
+        """
+        conn = worker.conn
+        started = time.monotonic()
+        try:
+            send_msg(conn, {
+                "type": "task",
+                "tag": task.tag,
+                "fn": self._fn_blob,
+                "payload": task.payload,
+            })
+        except OSError:
+            # Worker died before dispatch: the task never ran, so give
+            # it back to the queue instead of charging it an attempt.
+            self._requeue(task)
+            return False
+        worker.last_seen = time.monotonic()
+        while True:
+            now = time.monotonic()
+            if task.timeout is not None and now - started > task.timeout:
+                self._events.put(ExecutorEvent(
+                    tag=task.tag,
+                    kind="timeout",
+                    error_type="TaskTimeout",
+                    message=f"exceeded task_timeout={task.timeout:g}s",
+                    elapsed=now - started,
+                    worker=worker.worker_id,
+                ))
+                return False  # wedged worker: disconnect, no more tasks
+            if now - worker.last_seen > self.heartbeat_timeout:
+                self._events.put(self._crash_event(task, worker, started,
+                                                   "heartbeat lost"))
+                return False
+            try:
+                readable, _, _ = select.select([conn], [], [], _POLL)
+                if not readable:
+                    continue
+                # A frame can land in pieces under load; reading its
+                # tail with a short timeout would desync the stream,
+                # so give it the full heartbeat window per chunk.
+                conn.settimeout(self.heartbeat_timeout)
+                msg = recv_msg(conn)
+            except (OSError, WireError):
+                self._events.put(self._crash_event(task, worker, started,
+                                                   "connection reset"))
+                return False
+            if msg is None:
+                self._events.put(self._crash_event(task, worker, started,
+                                                   "connection closed"))
+                return False
+            worker.last_seen = time.monotonic()
+            if msg.get("type") == "heartbeat":
+                continue
+            if msg.get("type") == "result" and msg.get("tag") == task.tag:
+                if msg.get("ok"):
+                    self._events.put(ExecutorEvent(
+                        tag=task.tag,
+                        kind="ok",
+                        result=msg.get("result"),
+                        elapsed=float(msg.get("elapsed", time.monotonic() - started)),
+                        worker=worker.worker_id,
+                    ))
+                else:
+                    self._events.put(ExecutorEvent(
+                        tag=task.tag,
+                        kind="error",
+                        error_type=msg.get("error_type", "Error"),
+                        message=msg.get("message", ""),
+                        elapsed=float(msg.get("elapsed", time.monotonic() - started)),
+                        worker=worker.worker_id,
+                    ))
+                return True
+            # Unknown / stale message: ignore and keep waiting.
+
+    def _crash_event(
+        self, task: _Task, worker: _WorkerConn, started: float, why: str
+    ) -> ExecutorEvent:
+        return ExecutorEvent(
+            tag=task.tag,
+            kind="crash",
+            error_type="WorkerDied",
+            message=f"worker {worker.worker_id} died mid-task ({why})",
+            elapsed=time.monotonic() - started,
+            worker=worker.worker_id,
+            attributed=True,
+        )

@@ -1,0 +1,67 @@
+"""Length-prefixed pickle framing for the socket executor.
+
+One message = a 4-byte big-endian length followed by a pickled dict.
+Pickle is the only codec that ships arbitrary task callables/payloads,
+which means the socket backend is for *trusted* workers only (a
+malicious peer could execute code via a crafted pickle) — the same
+trust model as ``multiprocessing`` itself, extended across hosts the
+operator controls.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Dict, Optional
+
+__all__ = ["send_msg", "recv_msg", "WireError"]
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (corrupt header / non-protocol peer).
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class WireError(ConnectionError):
+    """The peer closed mid-frame or sent a malformed frame."""
+
+
+def send_msg(sock: socket.socket, payload: Dict) -> None:
+    """Serialise and send one framed message (atomic via ``sendall``)."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes, or ``None`` on a clean EOF at a frame
+    boundary (``WireError`` on EOF mid-frame)."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[Dict]:
+    """Receive one framed message; ``None`` on clean EOF.
+
+    Raises ``socket.timeout`` if the socket has a timeout and no bytes
+    arrive, and ``WireError`` on torn or oversized frames.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds protocol maximum")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise WireError("connection closed mid-frame")
+    return pickle.loads(blob)

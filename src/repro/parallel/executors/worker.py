@@ -1,0 +1,136 @@
+"""Worker-side loop for the socket executor (``slimcodeml worker``).
+
+A worker is deliberately dumb: connect, say hello, then loop —
+receive a pickled ``(fn, payload)`` task, run it, stream the result
+(or the structured exception) back, repeat.  A daemon thread
+heartbeats every couple of seconds so the server can tell a *hung
+task* (heartbeats keep flowing, the deadline trips) from a *dead
+worker* (silence / EOF).  All fault policy — retries, backoff,
+attribution — lives with the server's driver, never here.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.parallel.executors.wire import WireError, recv_msg, send_msg
+
+__all__ = ["run_worker", "HEARTBEAT_INTERVAL"]
+
+#: Seconds between idle/busy heartbeats (well under the server's
+#: default 15 s ``heartbeat_timeout``).
+HEARTBEAT_INTERVAL = 2.0
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """``host:port`` → tuple (the CLI's ``--connect`` argument)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected host:port, got {spec!r}")
+    return host, int(port)
+
+
+def _heartbeat_loop(sock: socket.socket, send_lock: threading.Lock,
+                    stop: threading.Event) -> None:
+    while not stop.wait(HEARTBEAT_INTERVAL):
+        try:
+            with send_lock:
+                send_msg(sock, {"type": "heartbeat"})
+        except OSError:
+            return
+
+
+def run_worker(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    max_tasks: Optional[int] = None,
+    connect_timeout: float = 30.0,
+) -> int:
+    """Serve tasks from ``host:port`` until told to stop.
+
+    Returns the number of tasks completed (successes *and* captured
+    errors both count — either way the worker did its job).  Exits on
+    a ``shutdown`` message, on EOF (server gone), or after
+    ``max_tasks`` tasks.
+    """
+    worker_name = name or f"{socket.gethostname()}:pid{os.getpid()}"
+    # Workers may legitimately start before the coordinator binds its
+    # port (fleet-first deployment), so refused connections retry until
+    # ``connect_timeout`` elapses.
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=connect_timeout)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    with send_lock:
+        send_msg(sock, {"type": "hello", "worker": worker_name, "pid": os.getpid()})
+    threading.Thread(
+        target=_heartbeat_loop, args=(sock, send_lock, stop),
+        name="slimcodeml-heartbeat", daemon=True,
+    ).start()
+
+    # Every task of a batch ships the same callable; cache the unpickle.
+    fn_blob: Optional[bytes] = None
+    fn = None
+    done = 0
+    try:
+        while True:
+            try:
+                msg = recv_msg(sock)
+            except (OSError, WireError):
+                break
+            if msg is None or msg.get("type") == "shutdown":
+                break
+            if msg.get("type") != "task":
+                continue
+            if msg["fn"] != fn_blob:
+                fn_blob = msg["fn"]
+                fn = pickle.loads(fn_blob)
+            started = time.perf_counter()
+            try:
+                result = fn(msg["payload"])
+            except Exception as exc:  # noqa: BLE001 - faults become messages
+                reply = {
+                    "type": "result",
+                    "tag": msg["tag"],
+                    "ok": False,
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "elapsed": time.perf_counter() - started,
+                }
+            else:
+                reply = {
+                    "type": "result",
+                    "tag": msg["tag"],
+                    "ok": True,
+                    "result": result,
+                    "elapsed": time.perf_counter() - started,
+                }
+            try:
+                with send_lock:
+                    send_msg(sock, reply)
+            except OSError:
+                break
+            done += 1
+            if max_tasks is not None and done >= max_tasks:
+                break
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return done

@@ -1,19 +1,32 @@
-"""Retry/timeout policy and fault-tolerant task execution.
+"""Fault policy and the backend-agnostic task driver.
 
 gcodeml (Moretti et al., 2012) showed that at Selectome scale the
 binding constraint on a genome-wide branch-site scan is *fault
 handling*: grid tasks crash, hang, and must be retried without losing
 the rest of the batch.  This module is the policy layer the batch
-drivers (:mod:`repro.parallel.batch`) delegate to:
+drivers (:mod:`repro.parallel.batch`) delegate to.
 
-* per-task attempt accounting with bounded retries and exponential
-  backoff;
-* a per-task wall-clock timeout — a hung worker is abandoned (its
-  process terminated) and the surviving task set moves to a fresh pool;
-* :class:`~concurrent.futures.process.BrokenProcessPool` recovery — a
-  worker crash (segfault, OOM-kill, ``os._exit``) poisons every
-  in-flight future, so the runner re-submits the surviving tasks to a
-  fresh pool instead of killing the whole batch.
+Since the executor refactor, :func:`run_tasks` is a pure *policy
+driver*: it owns per-task attempt accounting, bounded retries with
+(optionally jittered) exponential backoff, quarantine-based crash
+attribution and the restart budget — while the execution substrate
+lives behind the :class:`~repro.parallel.executors.base.Executor`
+protocol (inline, process pool, or a TCP worker fleet).  The driver
+sees only structured events (``ok`` / ``error`` / ``timeout`` /
+``crash``), so every backend inherits identical fault semantics:
+
+* a worker exception is retried up to ``max_retries`` times, then
+  reported as an ``error`` failure;
+* a hung attempt is reported as a ``timeout`` failure (retried only
+  when ``retry_timeouts`` is set);
+* an *attributed* crash (the backend knows which task killed its
+  vehicle) is charged to that task like an error, but reported with
+  kind ``pool``;
+* an *unattributed* crash (a shared process pool lost every in-flight
+  task at once) triggers a quarantine round — each lost task is
+  replayed in isolation, which pins the blame on the culprit while its
+  victims complete unharmed; only rounds that find *no* culprit
+  (environment-level faults) consume ``max_pool_restarts``.
 
 Failures never raise out of :func:`run_tasks`; they come back as
 structured :class:`TaskFailure` records alongside the successes, in
@@ -22,21 +35,20 @@ input order, so one poisoned task cannot mask a thousand finished ones.
 
 from __future__ import annotations
 
-import os
+import random
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.executors.base import Executor, ExecutorEvent
 
 __all__ = ["FaultPolicy", "TaskFailure", "TaskOutcome", "run_tasks"]
 
 #: Failure classes a task can end in (``TaskFailure.kind``).
 FAILURE_KINDS = ("error", "timeout", "pool")
 
-#: Floor for pool-wait polling so a just-expired deadline cannot spin.
+#: Floor for event-wait polling so a just-expired deadline cannot spin.
 _MIN_WAIT = 0.02
 
 
@@ -48,8 +60,8 @@ class FaultPolicy:
     ----------
     task_timeout:
         Per-attempt wall-clock budget in seconds; ``None`` disables the
-        timeout.  Only enforceable when tasks run in worker processes
-        (the in-process fallback cannot interrupt a hung call).
+        timeout.  Only enforceable by backends that can abandon a hung
+        vehicle (the inline executor cannot interrupt a hung call).
     max_retries:
         Retries *after* the first attempt, so a task runs at most
         ``max_retries + 1`` times.
@@ -58,26 +70,38 @@ class FaultPolicy:
         backoff_multiplier**(k-1)`` seconds; 0 retries immediately.
     backoff_multiplier:
         Exponential growth factor for successive backoffs.
+    jitter:
+        Full-jitter fraction in ``[0, 1]``: each backoff is drawn
+        uniformly from ``[base * (1 - jitter), base]``.  The default 0
+        keeps backoffs deterministic (test reproducibility); set e.g.
+        ``jitter=1.0`` when a batch of simultaneous failures would
+        otherwise retry in lockstep and stampede a shared backend.
+    jitter_seed:
+        Seed for the jitter RNG, so even jittered schedules are
+        reproducible run-to-run.
     retry_timeouts:
         Whether a timed-out attempt is retried like an error.  Off by
         default: hung tasks are usually deterministically hung, and each
         retry costs another full ``task_timeout``.
     max_pool_restarts:
-        How many *unattributed* :class:`BrokenProcessPool` recoveries to
-        attempt before declaring every remaining task a ``pool``
-        failure.  A pool crash triggers a quarantine round that re-runs
-        each lost task in its own single-worker pool — the culprit
-        breaks its private pool (and is charged an attempt) while its
-        victims complete unharmed; only crashes quarantine *cannot*
-        attribute to a task (environment-level faults) consume this
-        budget.  Timeout abandonments never do (they are bounded by the
-        task count already).
+        How many *unattributed* crash recoveries to attempt before
+        declaring every remaining task a ``pool`` failure.  An
+        unattributed crash (a shared pool died with several tasks in
+        flight) triggers a quarantine round that re-runs each lost task
+        in isolation — the culprit crashes its private vehicle (and is
+        charged an attempt) while its victims complete unharmed; only
+        rounds that *cannot* attribute the crash to a task
+        (environment-level faults) consume this budget.  Timeout
+        abandonments never do (they are bounded by the task count
+        already).
     """
 
     task_timeout: Optional[float] = None
     max_retries: int = 0
     retry_backoff: float = 0.5
     backoff_multiplier: float = 2.0
+    jitter: float = 0.0
+    jitter_seed: Optional[int] = None
     retry_timeouts: bool = False
     max_pool_restarts: int = 2
 
@@ -88,14 +112,22 @@ class FaultPolicy:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
         if self.max_pool_restarts < 0:
             raise ValueError("max_pool_restarts must be non-negative")
+        # The RNG rides outside the frozen-field set: it is scheduling
+        # state, not policy identity (eq/hash ignore it).
+        object.__setattr__(self, "_rng", random.Random(self.jitter_seed))
 
     def backoff_seconds(self, failed_attempt: int) -> float:
         """Sleep before re-running a task whose attempt ``k`` (1-based) failed."""
         if self.retry_backoff <= 0:
             return 0.0
-        return self.retry_backoff * self.backoff_multiplier ** (failed_attempt - 1)
+        base = self.retry_backoff * self.backoff_multiplier ** (failed_attempt - 1)
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 - self.jitter * self._rng.random())  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -104,7 +136,8 @@ class TaskFailure:
 
     ``kind`` is ``"error"`` (the worker raised), ``"timeout"`` (the
     attempt exceeded ``FaultPolicy.task_timeout``) or ``"pool"`` (the
-    worker process died, or the pool could not be rebuilt).
+    execution vehicle died — a worker process crash or a dead socket
+    worker — or the substrate gave out entirely).
     """
 
     task_id: str
@@ -122,7 +155,12 @@ class TaskFailure:
 
 @dataclass
 class TaskOutcome:
-    """Terminal state of one task: a worker result or a :class:`TaskFailure`."""
+    """Terminal state of one task: a worker result or a :class:`TaskFailure`.
+
+    ``worker`` is the backend's identity string for whichever worker
+    produced the terminal attempt (``None`` when the backend cannot
+    attribute work to a worker).
+    """
 
     index: int
     task_id: str
@@ -130,6 +168,7 @@ class TaskOutcome:
     failure: Optional[TaskFailure]
     attempts: int
     runtime_seconds: float
+    worker: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -144,6 +183,7 @@ def run_tasks(
     max_workers: Optional[int] = None,
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
     in_process: bool = False,
+    executor: Optional[Executor] = None,
 ) -> List[TaskOutcome]:
     """Run ``fn`` over ``payloads`` under ``policy``, never raising per-task.
 
@@ -151,292 +191,259 @@ def run_tasks(
     task *in completion order* as soon as its terminal state is known —
     the hook the batch layer uses to stream results to a journal.
 
-    ``in_process`` runs everything sequentially in the calling process
-    (deterministic, hermetic for tests); timeouts are not enforceable
-    there and ``task_timeout`` is ignored.
+    ``executor`` selects the execution substrate (see
+    :mod:`repro.parallel.executors`); a caller-provided executor is
+    started and drained but *not* shut down, so a connected worker
+    fleet can serve several batches.  Without one, the driver builds
+    its own: an :class:`~repro.parallel.executors.inline.InlineExecutor`
+    when ``in_process`` is set (sequential, hermetic; timeouts are not
+    enforceable there and ``task_timeout`` is ignored), else a
+    :class:`~repro.parallel.executors.pool.ProcessPoolBackend` over
+    ``max_workers`` processes.
     """
     policy = policy if policy is not None else FaultPolicy()
     ids = list(task_ids) if task_ids is not None else [f"task-{i}" for i in range(len(payloads))]
     if len(ids) != len(payloads):
         raise ValueError(f"{len(payloads)} payloads but {len(ids)} task ids")
-    if in_process or len(payloads) == 0:
-        return _run_inline(fn, payloads, ids, policy, on_outcome)
-    return _run_pool(fn, payloads, ids, policy, max_workers, on_outcome)
 
+    owns_executor = executor is None
+    if executor is None:
+        if in_process or len(payloads) == 0:
+            from repro.parallel.executors.inline import InlineExecutor
 
-# ----------------------------------------------------------------------
-# Sequential fallback
-# ----------------------------------------------------------------------
-def _run_inline(
-    fn: Callable[[object], object],
-    payloads: Sequence[object],
-    ids: Sequence[str],
-    policy: FaultPolicy,
-    on_outcome: Optional[Callable[[TaskOutcome], None]],
-) -> List[TaskOutcome]:
-    outcomes: List[TaskOutcome] = []
-    for i, payload in enumerate(payloads):
-        attempt = 1
-        elapsed = 0.0
-        while True:
-            start = time.perf_counter()
-            try:
-                result = fn(payload)
-            except Exception as exc:  # noqa: BLE001 - faults become data
-                elapsed += time.perf_counter() - start
-                if attempt <= policy.max_retries:
-                    time.sleep(policy.backoff_seconds(attempt))
-                    attempt += 1
-                    continue
-                failure = TaskFailure(
-                    task_id=ids[i],
-                    kind="error",
-                    error_type=type(exc).__name__,
-                    message=str(exc),
-                    attempts=attempt,
-                )
-                outcome = TaskOutcome(i, ids[i], None, failure, attempt, elapsed)
-                break
-            elapsed += time.perf_counter() - start
-            outcome = TaskOutcome(i, ids[i], result, None, attempt, elapsed)
-            break
-        outcomes.append(outcome)
-        if on_outcome is not None:
-            on_outcome(outcome)
-    return outcomes
-
-
-# ----------------------------------------------------------------------
-# Process-pool path
-# ----------------------------------------------------------------------
-def _abandon_pool(pool: ProcessPoolExecutor) -> None:
-    """Shut a pool down without waiting, terminating any stuck workers."""
-    procs = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for proc in procs:
-        if proc.is_alive():
-            proc.terminate()
-
-
-def _quarantine(
-    fn: Callable[[object], object],
-    payloads: Sequence[object],
-    ids: Sequence[str],
-    policy: FaultPolicy,
-    lost: Sequence[Tuple[int, int]],
-    elapsed: List[float],
-    finish: Callable,
-    fail: Callable,
-) -> bool:
-    """Re-run tasks lost to a pool crash, one per single-worker pool.
-
-    Isolation makes crash attribution exact: a task that breaks its
-    private pool *is* the culprit (charged an attempt, retried or
-    failed per policy) while the victims simply complete.  Returns
-    whether any culprit was identified — if not, the crash was
-    environmental and counts against ``max_pool_restarts``.
-    """
-    culprit_found = False
-    queue = deque(lost)
-    while queue:
-        i, attempt = queue.popleft()
-        qpool = ProcessPoolExecutor(max_workers=1)
-        started = time.monotonic()
-        future = qpool.submit(fn, payloads[i])
-        try:
-            result = future.result(timeout=policy.task_timeout)
-        except BrokenProcessPool:
-            culprit_found = True
-            elapsed[i] += time.monotonic() - started
-            if attempt <= policy.max_retries:
-                time.sleep(policy.backoff_seconds(attempt))
-                queue.append((i, attempt + 1))
-            else:
-                fail(
-                    i, attempt, "pool", "BrokenProcessPool",
-                    "worker process died (isolated in quarantine)",
-                )
-        except FuturesTimeout:
-            elapsed[i] += time.monotonic() - started
-            if policy.retry_timeouts and attempt <= policy.max_retries:
-                time.sleep(policy.backoff_seconds(attempt))
-                queue.append((i, attempt + 1))
-            else:
-                fail(
-                    i, attempt, "timeout", "TaskTimeout",
-                    f"exceeded task_timeout={policy.task_timeout:g}s",
-                )
-        except Exception as exc:  # noqa: BLE001 - faults become data
-            elapsed[i] += time.monotonic() - started
-            if attempt <= policy.max_retries:
-                time.sleep(policy.backoff_seconds(attempt))
-                queue.append((i, attempt + 1))
-            else:
-                fail(i, attempt, "error", type(exc).__name__, str(exc))
+            executor = InlineExecutor()
         else:
-            elapsed[i] += time.monotonic() - started
-            finish(i, attempt, result=result)
-        finally:
-            _abandon_pool(qpool)
-    return culprit_found
+            from repro.parallel.executors.pool import ProcessPoolBackend
+
+            executor = ProcessPoolBackend(max_workers=max_workers)
+
+    driver = _PolicyDriver(fn, payloads, ids, policy, executor, on_outcome)
+    try:
+        return driver.run()
+    finally:
+        if owns_executor:
+            executor.shutdown()
 
 
-def _run_pool(
-    fn: Callable[[object], object],
-    payloads: Sequence[object],
-    ids: Sequence[str],
-    policy: FaultPolicy,
-    max_workers: Optional[int],
-    on_outcome: Optional[Callable[[TaskOutcome], None]],
-) -> List[TaskOutcome]:
-    n = len(payloads)
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    workers = max(1, min(workers, n))
-    outcomes: List[Optional[TaskOutcome]] = [None] * n
-    # Attempt-elapsed accumulators so retried tasks report total runtime.
-    elapsed: List[float] = [0.0] * n
+class _PolicyDriver:
+    """One batch's fault-policy state machine over an Executor."""
 
-    def finish(
+    def __init__(
+        self,
+        fn: Callable[[object], object],
+        payloads: Sequence[object],
+        ids: Sequence[str],
+        policy: FaultPolicy,
+        executor: Executor,
+        on_outcome: Optional[Callable[[TaskOutcome], None]],
+    ) -> None:
+        self.fn = fn
+        self.payloads = payloads
+        self.ids = ids
+        self.policy = policy
+        self.executor = executor
+        self.on_outcome = on_outcome
+
+        n = len(payloads)
+        self.outcomes: List[Optional[TaskOutcome]] = [None] * n
+        # Attempt-elapsed accumulators so retried tasks report total runtime.
+        self.elapsed: List[float] = [0.0] * n
+        self.workers: List[Optional[str]] = [None] * n
+
+        self.pending: deque = deque((i, 1, False) for i in range(n))  # (index, attempt, isolated)
+        self.retry_at: List[Tuple[float, int, int, bool]] = []  # (ready, index, attempt, isolated)
+        self.in_flight: Dict[int, Tuple[int, int, bool]] = {}  # tag -> (index, attempt, isolated)
+        self.lost_unattributed: List[Tuple[int, int]] = []  # crash victims awaiting quarantine
+        self.next_tag = 0
+        self.restarts = 0
+
+    # -- terminal bookkeeping -----------------------------------------
+    def _finish(
+        self,
         index: int,
         attempts: int,
         result: Optional[object] = None,
         failure: Optional[TaskFailure] = None,
     ) -> None:
-        outcome = TaskOutcome(index, ids[index], result, failure, attempts, elapsed[index])
-        outcomes[index] = outcome
-        if on_outcome is not None:
-            on_outcome(outcome)
+        outcome = TaskOutcome(
+            index, self.ids[index], result, failure, attempts,
+            self.elapsed[index], worker=self.workers[index],
+        )
+        self.outcomes[index] = outcome
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
 
-    def fail(index: int, attempts: int, kind: str, error_type: str, message: str) -> None:
-        finish(
+    def _fail(self, index: int, attempts: int, kind: str, error_type: str, message: str) -> None:
+        self._finish(
             index,
             attempts,
-            failure=TaskFailure(ids[index], kind, error_type, message, attempts),
+            failure=TaskFailure(self.ids[index], kind, error_type, message, attempts),
         )
 
-    pending: deque = deque((i, 1) for i in range(n))  # (index, attempt)
-    retry_at: List[Tuple[float, int, int]] = []  # (ready_time, index, attempt)
-    in_flight: Dict[Future, Tuple[int, int, float]] = {}  # fut -> (index, attempt, started)
-    restarts = 0
-    pool = ProcessPoolExecutor(max_workers=workers)
+    # -- submission ----------------------------------------------------
+    def _submit(self, index: int, attempt: int, isolated: bool) -> int:
+        tag = self.next_tag
+        self.next_tag += 1
+        self.in_flight[tag] = (index, attempt, isolated)
+        self.executor.submit(
+            tag,
+            self.payloads[index],
+            timeout=self.policy.task_timeout,
+            isolated=isolated,
+        )
+        return tag
 
-    def drain_to_pool_failure(message: str) -> None:
-        """Terminal pool fault: everything unfinished becomes a ``pool`` failure."""
-        for fut, (i, attempt, started) in list(in_flight.items()):
-            elapsed[i] += time.monotonic() - started
-            fail(i, attempt, "pool", "BrokenProcessPool", message)
-        in_flight.clear()
-        for i, attempt in list(pending) + [(e[1], e[2]) for e in retry_at]:
-            fail(i, attempt, "pool", "BrokenProcessPool", message)
-        pending.clear()
-        retry_at.clear()
-
-    try:
-        while pending or in_flight or retry_at:
-            now = time.monotonic()
-            for entry in [e for e in retry_at if e[0] <= now]:
-                retry_at.remove(entry)
-                pending.append((entry[1], entry[2]))
-
-            # Keep in-flight ≤ workers so the per-task clock starts at
-            # submission time without counting queue wait.
-            while pending and len(in_flight) < workers:
-                i, attempt = pending.popleft()
-                future = pool.submit(fn, payloads[i])
-                in_flight[future] = (i, attempt, time.monotonic())
-
-            if not in_flight:
-                if retry_at:  # only backoff sleeps remain
-                    time.sleep(max(0.0, min(e[0] for e in retry_at) - time.monotonic()))
-                continue
-
-            timeout = None
-            if policy.task_timeout is not None:
-                nearest = min(s + policy.task_timeout for _, _, s in in_flight.values())
-                timeout = max(_MIN_WAIT, nearest - time.monotonic())
-            if retry_at:
-                ripe = max(_MIN_WAIT, min(e[0] for e in retry_at) - time.monotonic())
-                timeout = ripe if timeout is None else min(timeout, ripe)
-
-            done, _ = wait(set(in_flight), timeout=timeout, return_when=FIRST_COMPLETED)
-
-            pool_broken = False
-            for future in done:
-                i, attempt, started = in_flight.pop(future)
-                exc = future.exception()
-                if isinstance(exc, BrokenProcessPool):
-                    # The whole pool is poisoned; handle below with the
-                    # rest of the in-flight set.
-                    pool_broken = True
-                    in_flight[future] = (i, attempt, started)
-                    continue
-                elapsed[i] += time.monotonic() - started
-                if exc is None:
-                    finish(i, attempt, result=future.result())
-                elif attempt <= policy.max_retries:
-                    retry_at.append(
-                        (time.monotonic() + policy.backoff_seconds(attempt), i, attempt + 1)
-                    )
+    # -- event handling ------------------------------------------------
+    def _handle_event(self, ev: ExecutorEvent) -> None:
+        if ev.tag not in self.in_flight:
+            return  # stale event from an abandoned attempt
+        index, attempt, _isolated = self.in_flight.pop(ev.tag)
+        self.elapsed[index] += ev.elapsed
+        if ev.worker is not None:
+            self.workers[index] = ev.worker
+        policy = self.policy
+        if ev.kind == "ok":
+            self._finish(index, attempt, result=ev.result)
+        elif ev.kind == "error":
+            if attempt <= policy.max_retries:
+                self._schedule_retry(index, attempt, isolated=False)
+            else:
+                self._fail(index, attempt, "error", ev.error_type, ev.message)
+        elif ev.kind == "timeout":
+            if policy.retry_timeouts and attempt <= policy.max_retries:
+                self._schedule_retry(index, attempt, isolated=False)
+            else:
+                self._fail(index, attempt, "timeout", ev.error_type or "TaskTimeout", ev.message)
+        elif ev.kind == "crash":
+            if ev.attributed:
+                if attempt <= policy.max_retries:
+                    # Crash-prone tasks retry in isolation so a repeat
+                    # crash stays attributable.
+                    self._schedule_retry(index, attempt, isolated=True)
                 else:
-                    fail(i, attempt, "error", type(exc).__name__, str(exc))
+                    self._fail(index, attempt, "pool",
+                               ev.error_type or "BrokenProcessPool", ev.message)
+            else:
+                # Victim or culprit — unknowable here; quarantine replays
+                # it in isolation at the *same* attempt (no attempt cost
+                # for victims).
+                self.lost_unattributed.append((index, attempt))
+        else:  # pragma: no cover - defensive against misbehaved backends
+            self._fail(index, attempt, "error", "ProtocolError",
+                       f"backend emitted unknown event kind {ev.kind!r}")
 
-            if pool_broken or getattr(pool, "_broken", False):
-                # Every in-flight task was lost with the pool.  The
-                # crash-triggering task is indistinguishable from its
-                # victims here, so run a quarantine round: each lost
-                # task gets its own single-worker pool, which pins the
-                # crash on the culprit while the victims finish.
-                lost = [(i, attempt) for i, attempt, _ in in_flight.values()]
-                for i, attempt, started in in_flight.values():
-                    elapsed[i] += time.monotonic() - started
-                in_flight.clear()
-                _abandon_pool(pool)
-                culprit_found = _quarantine(
-                    fn, payloads, ids, policy, lost, elapsed, finish, fail
-                )
+    def _schedule_retry(self, index: int, failed_attempt: int, isolated: bool) -> None:
+        ready = time.monotonic() + self.policy.backoff_seconds(failed_attempt)
+        self.retry_at.append((ready, index, failed_attempt + 1, isolated))
+
+    # -- quarantine ----------------------------------------------------
+    def _quarantine_round(self, lost: Sequence[Tuple[int, int]]) -> bool:
+        """Replay tasks lost to an unattributed crash, one at a time, in
+        isolation.
+
+        Isolation makes crash attribution exact: a task that kills its
+        private vehicle *is* the culprit (charged an attempt, retried or
+        failed per policy) while the victims simply complete.  Returns
+        whether any culprit was identified — if not, the crash was
+        environmental and counts against ``max_pool_restarts``.
+        """
+        policy = self.policy
+        culprit_found = False
+        queue: deque = deque(lost)
+        while queue:
+            index, attempt = queue.popleft()
+            tag = self._submit(index, attempt, isolated=True)
+            event: Optional[ExecutorEvent] = None
+            while event is None:
+                for ev in self.executor.drain(timeout=None):
+                    if ev.tag == tag:
+                        event = ev
+                    else:
+                        # Foreign completions (e.g. socket tasks still on
+                        # other workers) are handled normally; any further
+                        # unattributed losses join the next round.
+                        self._handle_event(ev)
+            self.in_flight.pop(tag, None)
+            self.elapsed[index] += event.elapsed
+            if event.worker is not None:
+                self.workers[index] = event.worker
+            if event.kind == "ok":
+                self._finish(index, attempt, result=event.result)
+            elif event.kind == "crash":
+                culprit_found = True
+                if attempt <= policy.max_retries:
+                    time.sleep(policy.backoff_seconds(attempt))
+                    queue.append((index, attempt + 1))
+                else:
+                    self._fail(index, attempt, "pool",
+                               event.error_type or "BrokenProcessPool", event.message)
+            elif event.kind == "timeout":
+                if policy.retry_timeouts and attempt <= policy.max_retries:
+                    time.sleep(policy.backoff_seconds(attempt))
+                    queue.append((index, attempt + 1))
+                else:
+                    self._fail(index, attempt, "timeout",
+                               event.error_type or "TaskTimeout", event.message)
+            else:  # error
+                if attempt <= policy.max_retries:
+                    time.sleep(policy.backoff_seconds(attempt))
+                    queue.append((index, attempt + 1))
+                else:
+                    self._fail(index, attempt, "error", event.error_type, event.message)
+        return culprit_found
+
+    def _drain_to_pool_failure(self, message: str) -> None:
+        """Terminal substrate fault: everything unfinished becomes ``pool``."""
+        for tag, (index, attempt, _iso) in list(self.in_flight.items()):
+            self._fail(index, attempt, "pool", "BrokenProcessPool", message)
+        self.in_flight.clear()
+        for index, attempt in [(i, a) for i, a, _ in self.pending] + [
+            (e[1], e[2]) for e in self.retry_at
+        ] + list(self.lost_unattributed):
+            self._fail(index, attempt, "pool", "BrokenProcessPool", message)
+        self.pending.clear()
+        self.retry_at.clear()
+        self.lost_unattributed.clear()
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> List[TaskOutcome]:
+        if not self.payloads:
+            return []
+        self.executor.start(self.fn, len(self.payloads))
+        while self.pending or self.in_flight or self.retry_at or self.lost_unattributed:
+            if self.lost_unattributed:
+                lost, self.lost_unattributed = self.lost_unattributed, []
+                culprit_found = self._quarantine_round(lost)
                 if not culprit_found:
-                    restarts += 1
-                    if restarts > policy.max_pool_restarts:
-                        drain_to_pool_failure(
+                    self.restarts += 1
+                    if self.restarts > self.policy.max_pool_restarts:
+                        self._drain_to_pool_failure(
                             "unattributed pool crashes exhausted the restart budget"
                         )
                         break
-                pool = ProcessPoolExecutor(max_workers=workers)
                 continue
 
-            if policy.task_timeout is not None:
-                now = time.monotonic()
-                expired = [
-                    (fut, meta)
-                    for fut, meta in in_flight.items()
-                    if now - meta[2] > policy.task_timeout
-                ]
-                if expired:
-                    # A stuck worker cannot be cancelled: abandon the
-                    # pool, terminate its processes, and move every
-                    # *surviving* in-flight task to a fresh pool at no
-                    # attempt cost.
-                    for fut, (i, attempt, started) in expired:
-                        del in_flight[fut]
-                        elapsed[i] += now - started
-                        if policy.retry_timeouts and attempt <= policy.max_retries:
-                            retry_at.append(
-                                (now + policy.backoff_seconds(attempt), i, attempt + 1)
-                            )
-                        else:
-                            fail(
-                                i, attempt, "timeout", "TaskTimeout",
-                                f"exceeded task_timeout={policy.task_timeout:g}s",
-                            )
-                    survivors = list(in_flight.values())
-                    in_flight.clear()
-                    _abandon_pool(pool)
-                    for i, attempt, started in survivors:
-                        elapsed[i] += now - started
-                        pending.appendleft((i, attempt))
-                    pool = ProcessPoolExecutor(max_workers=workers)
-    finally:
-        _abandon_pool(pool)
+            now = time.monotonic()
+            for entry in [e for e in self.retry_at if e[0] <= now]:
+                self.retry_at.remove(entry)
+                self.pending.append((entry[1], entry[2], entry[3]))
 
-    assert all(o is not None for o in outcomes)
-    return outcomes  # type: ignore[return-value]
+            # Keep in-flight ≤ capacity so backend clocks start at
+            # dispatch time without counting queue wait.
+            while self.pending and len(self.in_flight) < self.executor.capacity():
+                index, attempt, isolated = self.pending.popleft()
+                self._submit(index, attempt, isolated)
+
+            if not self.in_flight:
+                if self.retry_at:  # only backoff sleeps remain
+                    time.sleep(max(0.0, min(e[0] for e in self.retry_at) - time.monotonic()))
+                continue
+
+            wait = None
+            if self.retry_at:
+                wait = max(_MIN_WAIT, min(e[0] for e in self.retry_at) - time.monotonic())
+            for ev in self.executor.drain(timeout=wait):
+                self._handle_event(ev)
+
+        assert all(o is not None for o in self.outcomes)
+        return self.outcomes  # type: ignore[return-value]

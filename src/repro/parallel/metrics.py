@@ -40,6 +40,12 @@ class BatchSummary:
     wall_seconds: float = 0.0
     #: ``gene_id`` of results loaded from a journal instead of recomputed.
     resumed_ids: List[str] = field(default_factory=list)
+    #: Worker identity → tasks whose terminal attempt it ran (executor
+    #: backends that attribute work: ``inline``, ``pid:<n>``, socket
+    #: worker ids).  Resumed results carry no worker and are excluded.
+    tasks_by_worker: Dict[str, int] = field(default_factory=dict)
+    #: Worker identity → successful compute seconds it contributed.
+    runtime_by_worker: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_resumed(self) -> int:
@@ -53,6 +59,9 @@ class BatchSummary:
             self.n_retried += 1
         if resumed:
             self.resumed_ids.append(result.gene_id)
+        worker = getattr(result, "worker", None)
+        if worker is not None and not resumed:
+            self.tasks_by_worker[worker] = self.tasks_by_worker.get(worker, 0) + 1
         if result.failed:
             self.n_failed += 1
             kind = result.failure.kind if result.failure is not None else "error"
@@ -62,6 +71,10 @@ class BatchSummary:
             self.total_runtime_seconds += result.runtime_seconds
             self.total_iterations += result.iterations
             self.total_evaluations += result.n_evaluations
+            if worker is not None and not resumed:
+                self.runtime_by_worker[worker] = (
+                    self.runtime_by_worker.get(worker, 0.0) + result.runtime_seconds
+                )
 
     def format(self) -> str:
         """Multi-line human-readable report."""
@@ -83,6 +96,13 @@ class BatchSummary:
             f"{self.total_iterations} optimizer iterations, "
             f"{self.total_evaluations} likelihood evaluations"
         )
+        if self.tasks_by_worker:
+            parts = ", ".join(
+                f"{worker}={count} task{'s' if count != 1 else ''}"
+                f"/{self.runtime_by_worker.get(worker, 0.0):.1f}s"
+                for worker, count in sorted(self.tasks_by_worker.items())
+            )
+            lines.append(f"workers    : {parts}")
         if self.wall_seconds > 0:
             line = f"wall clock : {self.wall_seconds:.1f} s"
             if not self.resumed_ids:

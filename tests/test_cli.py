@@ -121,6 +121,92 @@ class TestScan:
         assert rc == 0
         assert "branch scan" in out.read_text()
 
+    def test_scan_progress_on_stderr_by_default(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset))
+        assert rc == 0
+        assert "ok (2*delta=" in capsys.readouterr().err
+
+    def test_scan_quiet_suppresses_progress(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset, "--quiet"))
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "ok (2*delta=" not in captured.err
+        assert "branch scan" in captured.out  # report still printed
+
+    def test_scan_executor_inline(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset, "--executor", "inline"))
+        assert rc == 0
+        assert "branch scan" in capsys.readouterr().out
+
+    def test_scan_socket_without_workers_fails_cleanly(self, tiny_dataset, capsys):
+        rc = main(self._argv(
+            tiny_dataset, "--executor", "socket",
+            "--bind", "127.0.0.1:0", "--worker-wait", "0.3",
+        ))
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "listening on 127.0.0.1:" in captured.err
+        assert "cannot set up" in captured.err or "worker" in captured.err
+
+
+class TestWorkerCommand:
+    def test_worker_requires_connect(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["worker"])
+
+    def test_worker_rejects_malformed_address(self, capsys):
+        rc = main(["worker", "--connect", "nope"])
+        assert rc == 2
+        assert "host:port" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_scan_with_socket_worker_end_to_end(self, tiny_dataset, tmp_path, capsys):
+        """Full CLI loop: the scan coordinator and a ``slimcodeml
+        worker`` subprocess on localhost produce a normal report with
+        socket-worker attribution in the summary block."""
+        import os
+        import re
+        import socket as socketlib
+        import subprocess
+        import sys as _sys
+
+        # The CLI builds its own executor, so both sides need a port
+        # known up front: bind-and-release an ephemeral one.
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        worker = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "worker",
+             "--connect", f"127.0.0.1:{port}", "--name", "cliworker"],
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        try:
+            rc = main(self._scan_argv(tiny_dataset, port))
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "branch scan" in out
+            assert re.search(r"workers\s*:\s*cliworker", out)
+        finally:
+            worker.terminate()
+            worker.wait(timeout=10)
+
+    @staticmethod
+    def _scan_argv(tiny_dataset, port):
+        return [
+            "scan",
+            "--seqfile", str(tiny_dataset) + ".phy",
+            "--treefile", str(tiny_dataset) + ".nwk",
+            "--internal-only",
+            "--max-iterations", "1",
+            "--quiet",
+            "--executor", "socket",
+            "--bind", f"127.0.0.1:{port}",
+            "--worker-wait", "30",
+        ]
+
 
 class TestDatasets:
     def test_writes_requested_subset(self, tmp_path, capsys):

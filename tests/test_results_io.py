@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.io.results_io import (
+    JOURNAL_VERSION,
     SCHEMA_VERSION,
     ResultJournal,
     fit_from_dict,
@@ -240,3 +241,71 @@ class TestResultJournal:
             assert len(ResultJournal(str(path)).load()) == 1
             journal.append(_ok_result("g1"))
             assert len(ResultJournal(str(path)).load()) == 2
+
+
+class TestJournalVersioning:
+    def test_fresh_journal_starts_with_versioned_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "journal_header"
+        assert first["version"] == JOURNAL_VERSION
+        assert first["schema"] == SCHEMA_VERSION
+
+    def test_header_written_once_across_reopens(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g1"))
+        headers = [
+            line for line in path.read_text().splitlines()
+            if json.loads(line).get("kind") == "journal_header"
+        ]
+        assert len(headers) == 1
+
+    def test_headerless_v1_journal_still_loads(self, tmp_path):
+        # Journals written before the header existed must stay resumable.
+        path = tmp_path / "old.jsonl"
+        record = gene_result_to_dict(_ok_result("g0"))
+        path.write_text(json.dumps(record) + "\n")
+        entries = ResultJournal(str(path)).load()
+        assert [e.gene_id for e in entries] == ["g0"]
+
+    def test_unknown_record_kind_skipped(self, tmp_path):
+        # A newer writer may add record kinds; the reader must skip, not die.
+        path = tmp_path / "j.jsonl"
+        with ResultJournal(str(path)) as journal:
+            journal.append(_ok_result("g0"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "scan_checkpoint", "at": 3}) + "\n")
+        entries = ResultJournal(str(path)).load()
+        assert [e.gene_id for e in entries] == ["g0"]
+
+    def test_unknown_record_keys_ignored(self, tmp_path):
+        # A newer writer may add fields to gene_result records too.
+        path = tmp_path / "j.jsonl"
+        record = gene_result_to_dict(_ok_result("g0"))
+        record["carbon_footprint_grams"] = 12.5
+        path.write_text(json.dumps(record) + "\n")
+        entries = ResultJournal(str(path)).load()
+        assert entries[0].gene_id == "g0"
+        assert entries[0].lnl1 == -100.0
+
+    def test_newer_journal_version_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = {"kind": "journal_header", "schema": SCHEMA_VERSION,
+                  "version": JOURNAL_VERSION + 1}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ValueError, match="newer than"):
+            ResultJournal(str(path)).load()
+
+    def test_worker_identity_roundtrips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        res = _ok_result("g0")
+        res.worker = "node7:pid123"
+        with ResultJournal(str(path)) as journal:
+            journal.append(res)
+        (entry,) = ResultJournal(str(path)).load()
+        assert entry.worker == "node7:pid123"
