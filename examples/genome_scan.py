@@ -64,6 +64,10 @@ results = analyze_genes(
     jobs, engine="slim", processes=PROCESSES, seed=1, max_iterations=20,
     policy=policy, journal=JOURNAL, resume=resume,
     on_result=lambda k, res: computed.add(res.gene_id),
+    # Numerical self-healing: guarded engines (eigensolver fallback
+    # ladder, P(t) checks) + seeded optimizer restarts; whatever fired
+    # comes back on each result's `diagnostics`.
+    recover=True,
 )
 elapsed = time.perf_counter() - start
 resumed_ids = [r.gene_id for r in results if r.gene_id not in computed]
@@ -83,6 +87,14 @@ for res in results:
         fp += truth == "neutral"
     print(f"{res.gene_id:<10s} {res.lnl0:>12.2f} {res.lnl1:>12.2f} "
           f"{res.statistic:>9.3f} {res.pvalue:>10.3g}  {truth:<9s} {call}")
+
+recovered = [r for r in results if r.recovered]
+if recovered:
+    from repro.core.recovery import FitDiagnostics
+
+    print("\nnumerical recovery (per gene):")
+    for res in recovered:
+        print(f"  {res.gene_id}: {FitDiagnostics.from_dict(res.diagnostics).describe()}")
 
 n_sel = len(truly_selected)
 print()

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--out", default="-", help="report destination ('-' = stdout)")
     scan.add_argument("--quiet", action="store_true", help="suppress per-branch progress")
     scan.add_argument(
+        "--no-recover", dest="recover", action="store_false", default=True,
+        help="disable the numerical self-healing layer (eigensolver fallback "
+             "ladder, P(t) guards, optimizer restarts); disabled runs are "
+             "bit-identical to the historical unguarded code",
+    )
+    scan.add_argument(
         "--executor", default=None, choices=["inline", "pool", "socket"],
         help="execution substrate (default: inline for --processes 1, else pool)",
     )
@@ -278,6 +284,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             resume=args.resume,
             on_result=progress,
             executor=executor,
+            recover=args.recover,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.
@@ -300,6 +307,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         )
     for label, failure in sorted(scan.failures.items()):
         lines.append(f"{label:<16s} {'FAILED':>9s}  {failure.describe()}")
+    recovered = [r for r in scan.gene_results if getattr(r, "recovered", False)]
+    if recovered:
+        from repro.core.recovery import FitDiagnostics
+
+        lines.append("")
+        lines.append("numerical recovery (per branch):")
+        for res in recovered:
+            diag = FitDiagnostics.from_dict(res.diagnostics)
+            lines.append(f"  {res.gene_id}: {diag.describe()}")
     lines.append("")
     lines.append(scan.summary(wall_seconds=wall, resumed_ids=resumed).format())
     if args.journal:

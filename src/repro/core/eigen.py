@@ -20,16 +20,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 import scipy.linalg
 
 from repro.codon.matrix import CodonRateMatrix
 from repro.core.flops import FlopCounter, eigh_flops
+from repro.core.recovery import NumericalEventRecorder, RecoveryConfig
 from repro.utils.numerics import validate_probability_vector, validate_square
 
-__all__ = ["SpectralDecomposition", "symmetrize", "decompose", "DecompositionCache"]
+__all__ = [
+    "SpectralDecomposition",
+    "PadeFallback",
+    "symmetrize",
+    "decompose",
+    "decompose_guarded",
+    "DecompositionCache",
+]
 
 
 def symmetrize(rate_matrix: CodonRateMatrix) -> np.ndarray:
@@ -125,6 +133,113 @@ def decompose(
     )
 
 
+@dataclass(frozen=True)
+class PadeFallback:
+    """Last rung of the fallback ladder: no usable eigendecomposition.
+
+    When every eigensolver rung fails (LAPACK error or residual check),
+    the engines fall back to building each branch's ``P(t)`` directly
+    with :func:`scipy.linalg.expm` (Padé + scaling-and-squaring) on the
+    stored generator ``Q`` — slower (one O(n³) expm per distinct branch
+    length instead of one eigendecomposition per ω) but algorithmically
+    independent of the spectral path that just failed.
+
+    Quacks like :class:`SpectralDecomposition` where the caches care:
+    it carries ``pi`` and a process-unique ``token``.
+    """
+
+    q: np.ndarray
+    pi: np.ndarray
+    token: int = field(default_factory=lambda: next(_TOKENS))
+
+    @property
+    def n_states(self) -> int:
+        return self.q.shape[0]
+
+
+#: What the guarded path can hand to an engine.
+AnyDecomposition = Union[SpectralDecomposition, PadeFallback]
+
+
+def _residual(a: np.ndarray, eigenvalues: np.ndarray, eigenvectors: np.ndarray) -> float:
+    """Relative reconstruction residual ``‖A − XΛXᵀ‖_max / max(1, ‖A‖_max)``."""
+    recon = (eigenvectors * eigenvalues[None, :]) @ eigenvectors.T
+    return float(np.max(np.abs(a - recon))) / max(1.0, float(np.max(np.abs(a))))
+
+
+def decompose_guarded(
+    rate_matrix: CodonRateMatrix,
+    driver: str = "evr",
+    counter: Optional[FlopCounter] = None,
+    config: Optional[RecoveryConfig] = None,
+    recorder: Optional[NumericalEventRecorder] = None,
+) -> AnyDecomposition:
+    """:func:`decompose` with the §II-C1 promise *checked* and a fallback ladder.
+
+    Rungs, in order:
+
+    1. ``eigh(driver=driver)`` — the engine's configured solver
+       (``dsyevr``/MRRR for the slim engines);
+    2. ``eigh(driver="ev")`` — the classic QR solver, skipped when it
+       *is* the configured driver;
+    3. :class:`PadeFallback` — per-branch ``scipy.linalg.expm``.
+
+    A rung is rejected when LAPACK raises or when the reconstruction
+    residual ``‖A − XΛXᵀ‖`` exceeds ``config.residual_tol`` (relative);
+    every rejection and every fallback is recorded on ``recorder``.
+    """
+    config = config if config is not None else RecoveryConfig()
+    a = symmetrize(rate_matrix)
+    validate_square(a, name="A")
+    pi = validate_probability_vector(rate_matrix.pi, name="pi")
+    sqrt_pi = np.sqrt(pi)
+
+    ladder = [driver] + (["ev"] if driver != "ev" else [])
+    ctx = {"kappa": float(rate_matrix.kappa), "omega": float(rate_matrix.omega)}
+    for rung, drv in enumerate(ladder):
+        try:
+            eigenvalues, eigenvectors = scipy.linalg.eigh(a, driver=drv)
+        except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError) as exc:
+            if recorder is not None:
+                recorder.record(
+                    "eigh_failure", "eigen", f"eigh(driver={drv!r}) raised: {exc}",
+                    driver=drv, **ctx,
+                )
+            continue
+        residual = _residual(a, eigenvalues, eigenvectors)
+        if not np.isfinite(residual) or residual > config.residual_tol:
+            if recorder is not None:
+                recorder.record(
+                    "eigh_residual", "eigen",
+                    f"eigh(driver={drv!r}) residual {residual:.3e} "
+                    f"> {config.residual_tol:.0e}",
+                    driver=drv, residual=residual, **ctx,
+                )
+            continue
+        if counter is not None:
+            counter.add(
+                "eigh(dsyevr)" if drv == "evr" else f"eigh({drv})",
+                eigh_flops(a.shape[0]),
+            )
+        if rung > 0 and recorder is not None:
+            recorder.record(
+                "eigh_fallback", "eigen", drv, driver=drv, rung=rung, **ctx
+            )
+        return SpectralDecomposition(
+            eigenvalues=np.ascontiguousarray(eigenvalues),
+            eigenvectors=np.asfortranarray(eigenvectors),
+            pi=pi,
+            sqrt_pi=sqrt_pi,
+            inv_sqrt_pi=1.0 / sqrt_pi,
+        )
+    if recorder is not None:
+        recorder.record(
+            "eigh_fallback", "eigen", "pade",
+            rung=len(ladder), **ctx,
+        )
+    return PadeFallback(q=np.array(rate_matrix.q, dtype=float, copy=True), pi=pi)
+
+
 class DecompositionCache:
     """LRU cache of spectral decompositions keyed by model parameters.
 
@@ -135,14 +250,27 @@ class DecompositionCache:
     gradient — the cache turns repeat decompositions into dictionary
     lookups.  Keys quantise parameters to 15 significant digits so the
     cache is insensitive to benign float formatting round-trips.
+
+    ``decomposer`` overrides the decomposition call itself — the seam
+    through which the engines route :func:`decompose_guarded` so the
+    fallback ladder's product (including a :class:`PadeFallback`) is
+    cached exactly like a healthy decomposition.
     """
 
-    def __init__(self, maxsize: int = 16, driver: str = "evr") -> None:
+    def __init__(
+        self,
+        maxsize: int = 16,
+        driver: str = "evr",
+        decomposer: Optional[
+            Callable[[CodonRateMatrix, Optional[FlopCounter]], "AnyDecomposition"]
+        ] = None,
+    ) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self._maxsize = maxsize
         self._driver = driver
-        self._store: dict[tuple, SpectralDecomposition] = {}
+        self._decomposer = decomposer
+        self._store: dict[tuple, AnyDecomposition] = {}
         self.hits = 0
         self.misses = 0
 
@@ -159,7 +287,7 @@ class DecompositionCache:
         self,
         rate_matrix: CodonRateMatrix,
         counter: Optional[FlopCounter] = None,
-    ) -> SpectralDecomposition:
+    ) -> "AnyDecomposition":
         key = self._key(rate_matrix)
         found = self._store.pop(key, None)
         if found is not None:
@@ -167,7 +295,10 @@ class DecompositionCache:
             self._store[key] = found  # refresh LRU position
             return found
         self.misses += 1
-        decomp = decompose(rate_matrix, driver=self._driver, counter=counter)
+        if self._decomposer is not None:
+            decomp = self._decomposer(rate_matrix, counter)
+        else:
+            decomp = decompose(rate_matrix, driver=self._driver, counter=counter)
         self._store[key] = decomp
         while len(self._store) > self._maxsize:
             self._store.pop(next(iter(self._store)))

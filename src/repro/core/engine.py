@@ -36,14 +36,32 @@ from repro.alignment.patterns import PatternAlignment, compress_patterns
 from repro.codon.frequencies import estimate_codon_frequencies
 from repro.codon.genetic_code import GeneticCode, UNIVERSAL
 from repro.codon.matrix import CodonRateMatrix
-from repro.core.eigen import DecompositionCache, SpectralDecomposition, decompose
+from repro.core.eigen import (
+    DecompositionCache,
+    PadeFallback,
+    SpectralDecomposition,
+    decompose,
+    decompose_guarded,
+)
 from repro.core.expm import (
     symmetric_branch_matrix,
     transition_matrix_einsum,
+    transition_matrix_scipy,
     transition_matrix_syrk,
 )
+from repro.core.recovery import (
+    NumericalEventRecorder,
+    PruningGuard,
+    RecoveryConfig,
+    guard_symmetric_operator,
+    guard_transition_matrix,
+)
 from repro.core.flops import FlopCounter, gemm_flops, gemv_flops, symm_flops, symv_flops
-from repro.likelihood.mixture import mixture_log_likelihood, site_class_log_likelihoods
+from repro.likelihood.mixture import (
+    check_finite_site_log_likelihoods,
+    mixture_log_likelihood,
+    site_class_log_likelihoods,
+)
 from repro.likelihood.pruning import build_leaf_clvs, prune_site_class
 from repro.models.base import CodonSiteModel, SiteClass
 from repro.models.scaling import build_class_matrices
@@ -82,6 +100,14 @@ class LikelihoodEngine:
         P per evaluation and the paper's cost model assumes one expm per
         branch per iteration; turning this on is the ablation measured
         by ``benchmarks/bench_caching_ablation.py``.
+    recovery:
+        A :class:`~repro.core.recovery.RecoveryConfig` enables the
+        numerical self-healing layer: the eigensolver fallback ladder
+        (``evr`` → ``ev`` → per-branch Padé ``expm``), reconstruction
+        guards on every branch operator, and CLV/mixture sanity checks
+        during pruning — every trigger recorded on :attr:`events`.
+        ``None`` (default) runs the historical unguarded code and is
+        bit-identical to it.
     """
 
     name = "abstract"
@@ -97,15 +123,30 @@ class LikelihoodEngine:
         cache_decompositions: bool = True,
         cache_transition_matrices: bool = False,
         transition_cache_size: int = 4096,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.code = code
         self.counter = counter
         self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
+        self.recovery = recovery
+        #: Structured numerical-event stream (``None`` when recovery is off).
+        self.events: Optional[NumericalEventRecorder] = (
+            NumericalEventRecorder() if recovery is not None else None
+        )
+        decomposer = (
+            (lambda matrix, counter: decompose_guarded(
+                matrix, driver=self.eigh_driver, counter=counter,
+                config=self.recovery, recorder=self.events,
+            ))
+            if recovery is not None
+            else None
+        )
         self._decomp_cache: Optional[DecompositionCache] = (
-            DecompositionCache(maxsize=16, driver=self.eigh_driver)
+            DecompositionCache(maxsize=16, driver=self.eigh_driver, decomposer=decomposer)
             if cache_decompositions
             else None
         )
+        self._guarded_decomposer = decomposer
         self.cache_transition_matrices = cache_transition_matrices
         # Keyed by (decomposition token, t).  The token is the
         # process-unique sequence number on SpectralDecomposition — NOT
@@ -128,12 +169,44 @@ class LikelihoodEngine:
         """Apply a branch operator to an ``(n_states, n_patterns)`` CLV."""
         raise NotImplementedError
 
+    def _wrap_probability_matrix(self, p: np.ndarray, pi: np.ndarray) -> object:
+        """Package a dense ``P(t)`` as this engine's operator type.
+
+        The Padé fallback rung produces a plain probability matrix; the
+        P-propagating engines use it as-is, while ``slim-v2`` overrides
+        this to rebuild its symmetric operator form.
+        """
+        return p
+
+    def _guard_operator(self, operator: object, t: float) -> object:
+        """Reconstruction guards on a freshly built branch operator."""
+        assert self.recovery is not None
+        return guard_transition_matrix(
+            operator, self.recovery, self.events, t=t, engine=self.name
+        )
+
     # ------------------------------------------------------------------
-    def _decompose(self, matrix: CodonRateMatrix) -> SpectralDecomposition:
+    def _decompose(self, matrix: CodonRateMatrix):
         with self.stopwatch.measure("eigh"):
             if self._decomp_cache is not None:
                 return self._decomp_cache.get(matrix, counter=self.counter)
+            if self._guarded_decomposer is not None:
+                return self._guarded_decomposer(matrix, self.counter)
             return decompose(matrix, driver=self.eigh_driver, counter=self.counter)
+
+    def _make_operator(self, decomp, t: float) -> object:
+        """Build (and, when recovery is on, guard) one branch operator."""
+        if isinstance(decomp, PadeFallback):
+            p = transition_matrix_scipy(decomp.q, t)
+            if self.recovery is not None:
+                p = guard_transition_matrix(
+                    p, self.recovery, self.events, t=t, engine=self.name, path="pade"
+                )
+            return self._wrap_probability_matrix(p, decomp.pi)
+        op = self._build_operator(decomp, t)
+        if self.recovery is not None:
+            op = self._guard_operator(op, t)
+        return op
 
     def _operator_for(self, decomp: SpectralDecomposition, t: float) -> object:
         if self.cache_transition_matrices:
@@ -145,7 +218,7 @@ class LikelihoodEngine:
                 return op
             self.transition_misses += 1
             with self.stopwatch.measure("expm"):
-                op = self._build_operator(decomp, t)
+                op = self._make_operator(decomp, t)
             self._transition_cache[key] = op
             # LRU eviction: drop the coldest entry, never the whole
             # working set (a full clear() thrashes the hot branches).
@@ -153,7 +226,7 @@ class LikelihoodEngine:
                 self._transition_cache.popitem(last=False)
             return op
         with self.stopwatch.measure("expm"):
-            return self._build_operator(decomp, t)
+            return self._make_operator(decomp, t)
 
     def cache_stats(self) -> Dict[str, int]:
         """Hit/miss/size counters for both caches (batch-scan metrics)."""
@@ -288,6 +361,22 @@ class SlimV2Engine(LikelihoodEngine):
         m = symmetric_branch_matrix(decomp, t, counter=self.counter)
         return (m, decomp.pi)
 
+    def _wrap_probability_matrix(self, p: np.ndarray, pi: np.ndarray) -> tuple:
+        # Rebuild the symmetric form from a Padé P(t): M = P Π^{-1} is
+        # symmetric in exact arithmetic; averaging with its transpose
+        # removes the Padé round-off asymmetry the dsymm kernel would
+        # otherwise silently half-read.
+        m = p * (1.0 / pi)[None, :]
+        return (0.5 * (m + m.T), pi)
+
+    def _guard_operator(self, operator: tuple, t: float) -> tuple:
+        assert self.recovery is not None
+        m, pi = operator
+        guard_symmetric_operator(
+            m, pi, self.recovery, self.events, t=t, engine=self.name
+        )
+        return operator
+
     def _propagate(self, operator: tuple, clv: np.ndarray) -> np.ndarray:
         m, pi = operator
         n, n_patterns = clv.shape
@@ -401,8 +490,15 @@ class BoundLikelihood:
             (child, parent, float(lengths[pos]), fg)
             for child, parent, pos, fg in self._rows
         ]
+        guarded = self.engine.recovery is not None
         results = [
-            prune_site_class(rows, self._n_nodes, self._leaf_clvs, factory_for(cls), propagate)
+            prune_site_class(
+                rows, self._n_nodes, self._leaf_clvs, factory_for(cls), propagate,
+                guard=PruningGuard(
+                    recorder=self.engine.events,
+                    context={"site_class": cls.label, "engine": self.engine.name},
+                ) if guarded else None,
+            )
             for cls in classes
         ]
         return results, classes
@@ -420,8 +516,16 @@ class BoundLikelihood:
         )
         results, classes = self._evaluate_classes(values, lengths)
         proportions = [c.proportion for c in classes]
+        class_lnl = site_class_log_likelihoods(results, self.pi)
+        if self.engine.recovery is not None:
+            check_finite_site_log_likelihoods(
+                class_lnl,
+                recorder=self.engine.events,
+                class_labels=[c.label for c in classes],
+                engine=self.engine.name,
+            )
         lnl, _ = mixture_log_likelihood(
-            results, self.pi, proportions, self.patterns.weights
+            results, self.pi, proportions, self.patterns.weights, class_lnl=class_lnl
         )
         self.n_evaluations += 1
         return lnl
@@ -443,6 +547,13 @@ class BoundLikelihood:
         )
         results, classes = self._evaluate_classes(values, lengths)
         class_lnl = site_class_log_likelihoods(results, self.pi)
+        if self.engine.recovery is not None:
+            check_finite_site_log_likelihoods(
+                class_lnl,
+                recorder=self.engine.events,
+                class_labels=[c.label for c in classes],
+                engine=self.engine.name,
+            )
         self.n_evaluations += 1
         return class_lnl, np.array([c.proportion for c in classes])
 

@@ -41,8 +41,8 @@ SCHEMA_VERSION = 1
 #: skips unknown keys and unknown kinds, so older journals — including
 #: headerless v1 journals from before this field existed — stay
 #: resumable.  Version 2 added the header itself and per-record worker
-#: identity.
-JOURNAL_VERSION = 2
+#: identity; version 3 added per-gene numerical-recovery ``diagnostics``.
+JOURNAL_VERSION = 3
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -60,11 +60,18 @@ def fit_to_dict(fit: FitResult) -> Dict:
         "runtime_seconds": fit.runtime_seconds,
         "converged": fit.converged,
         "message": fit.message,
+        "diagnostics": (
+            fit.diagnostics.to_dict()
+            if fit.diagnostics.recovered or fit.diagnostics.boundary_flags
+            else None
+        ),
     }
 
 
 def fit_from_dict(payload: Dict) -> FitResult:
     """Inverse of :func:`fit_to_dict` (history is not archived)."""
+    from repro.core.recovery import FitDiagnostics
+
     _check(payload, "fit")
     return FitResult(
         model_name=payload["model"],
@@ -77,6 +84,7 @@ def fit_from_dict(payload: Dict) -> FitResult:
         runtime_seconds=float(payload["runtime_seconds"]),
         converged=bool(payload["converged"]),
         message=payload["message"],
+        diagnostics=FitDiagnostics.from_dict(payload.get("diagnostics")),
     )
 
 
@@ -191,6 +199,7 @@ def gene_result_to_dict(result) -> Dict:
         "error": result.error,
         "failure": failure,
         "worker": getattr(result, "worker", None),
+        "diagnostics": getattr(result, "diagnostics", None),
     })
 
 
@@ -228,6 +237,7 @@ def gene_result_from_dict(payload: Dict):
         attempts=int(payload.get("attempts", 1)),
         failure=failure,
         worker=payload.get("worker"),
+        diagnostics=payload.get("diagnostics"),
     )
 
 

@@ -13,14 +13,20 @@ site classification (:mod:`repro.optimize.beb`).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.recovery import NumericalError, NumericalEventRecorder
 from repro.likelihood.pruning import PruningResult
 from repro.utils.numerics import logsumexp_weighted
 
-__all__ = ["site_class_log_likelihoods", "mixture_log_likelihood", "class_posteriors"]
+__all__ = [
+    "site_class_log_likelihoods",
+    "check_finite_site_log_likelihoods",
+    "mixture_log_likelihood",
+    "class_posteriors",
+]
 
 
 def site_class_log_likelihoods(
@@ -32,20 +38,64 @@ def site_class_log_likelihoods(
     return np.vstack([res.site_log_likelihoods(pi) for res in results])
 
 
+def check_finite_site_log_likelihoods(
+    class_lnl: np.ndarray,
+    recorder: Optional[NumericalEventRecorder] = None,
+    class_labels: Optional[Sequence[str]] = None,
+    **context,
+) -> np.ndarray:
+    """Raise a typed error on NaN or ``+inf`` per-class site log-likelihoods.
+
+    ``-inf`` is a legitimate value (a pattern impossible under one class
+    while another class covers it); NaN or ``+inf`` means garbage leaked
+    through pruning/combination and would silently poison the mixture.
+    The raised :class:`~repro.core.recovery.NumericalError` names the
+    offending class(es) and pattern indices.
+    """
+    bad = np.isnan(class_lnl) | (class_lnl == np.inf)
+    if bad.any():
+        class_idx, pattern_idx = np.nonzero(bad)
+        labels = sorted(
+            {
+                class_labels[c] if class_labels is not None else str(c)
+                for c in class_idx
+            }
+        )
+        detail = (
+            f"non-finite site log-likelihood in class(es) {labels}, "
+            f"pattern(s) {[int(p) for p in pattern_idx[:8]]}"
+        )
+        ctx = {
+            "classes": ",".join(labels),
+            "patterns": str([int(p) for p in pattern_idx[:8]]),
+            **context,
+        }
+        if recorder is not None:
+            recorder.record("mixture_nonfinite", "mixture", detail, **ctx)
+        raise NumericalError(detail, where="mixture", context=ctx)
+    return class_lnl
+
+
 def mixture_log_likelihood(
     results: Sequence[PruningResult],
     pi: np.ndarray,
     proportions: Sequence[float],
     pattern_weights: np.ndarray,
+    class_lnl: Optional[np.ndarray] = None,
 ) -> Tuple[float, np.ndarray]:
     """Total log-likelihood and the per-pattern site log-likelihoods.
+
+    ``class_lnl`` optionally supplies the precomputed
+    :func:`site_class_log_likelihoods` matrix (the engine layer computes
+    it once and shares it with the finite-value check).
 
     Returns
     -------
     (float, numpy.ndarray)
         ``(lnL, per_pattern_lnl)`` where ``lnL = pattern_weights · per_pattern_lnl``.
     """
-    class_lnl = site_class_log_likelihoods(results, pi)
+    if class_lnl is None:
+        class_lnl = site_class_log_likelihoods(results, pi)
     proportions = np.asarray(proportions, dtype=float)
     if class_lnl.shape[0] != proportions.shape[0]:
         raise ValueError(

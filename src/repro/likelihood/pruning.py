@@ -17,11 +17,12 @@ exercised directly by the 95-species dataset iv.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
+from repro.core.recovery import PruningGuard
 
 __all__ = ["PruningResult", "build_leaf_clvs", "prune_site_class"]
 
@@ -86,6 +87,7 @@ def prune_site_class(
     transition_factory: TransitionFactory,
     propagate: Propagator,
     scale_threshold: float = SCALE_THRESHOLD,
+    guard: Optional[PruningGuard] = None,
 ) -> PruningResult:
     """One post-order pruning pass for a single site class.
 
@@ -103,6 +105,15 @@ def prune_site_class(
         Engine kernels (see module type aliases).  ``propagate`` must
         return a fresh array (it becomes, or is multiplied into, the
         parent CLV).
+    guard:
+        Optional :class:`~repro.core.recovery.PruningGuard`.  When set,
+        each completed node's CLV is checked at rescale time: NaN/Inf
+        columns, and pattern columns that went *entirely* zero (which
+        would otherwise surface much later as an uninformative ``-inf``
+        log-likelihood), raise a typed
+        :class:`~repro.core.recovery.NumericalError` naming the node and
+        the offending pattern indices.  ``None`` (default) preserves the
+        historical unguarded behaviour bit-for-bit.
 
     Returns
     -------
@@ -138,8 +149,34 @@ def prune_site_class(
             # Node complete: rescale underflowing pattern columns.
             node_clv = clvs[parent]
             col_max = node_clv.max(axis=0)
+            if guard is not None:
+                # NaN propagates through max(); +inf survives it too, so
+                # one O(n_patterns) pass over the column maxima catches
+                # both non-finite modes at the node where they appear.
+                bad = ~np.isfinite(col_max)
+                if bad.any():
+                    patterns = np.flatnonzero(bad)
+                    raise guard.fail(
+                        "clv_nonfinite",
+                        f"non-finite CLV at node {parent} in "
+                        f"{patterns.shape[0]} pattern column(s)",
+                        node=int(parent),
+                        patterns=str([int(i) for i in patterns[:8]]),
+                    )
             needs = col_max < scale_threshold
             if needs.any():
+                if guard is not None:
+                    zero = needs & (col_max <= 0.0)
+                    if zero.any():
+                        patterns = np.flatnonzero(zero)
+                        raise guard.fail(
+                            "clv_zero_column",
+                            f"pattern column(s) went entirely zero at node "
+                            f"{parent} — underflow past rescue or data "
+                            f"impossible under the current parameters",
+                            node=int(parent),
+                            patterns=str([int(i) for i in patterns[:8]]),
+                        )
                 safe = np.where(needs & (col_max > 0.0), col_max, 1.0)
                 node_clv /= safe[None, :]
                 with np.errstate(divide="ignore"):

@@ -26,7 +26,29 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-__all__ = ["OptimizeResult", "minimize_bfgs", "finite_difference_gradient"]
+__all__ = [
+    "OptimizeResult",
+    "minimize_bfgs",
+    "finite_difference_gradient",
+    "BARRIER_SLOPE",
+]
+
+#: Finite stand-in slope for a gradient probe that hit a non-finite
+#: objective (a parameter wall or a diagnosed numerical fault mapped to
+#: ``+inf``).  Steep enough that the line search immediately backs away
+#: from the wall, small enough that ``slope * h`` stays well inside the
+#: double range for any reasonable step.
+BARRIER_SLOPE = 1e8
+
+
+def _barrier(value: float) -> float:
+    """Uniform non-finite handling: NaN, ``+inf`` *and* ``-inf`` → ``+inf``.
+
+    A ``-inf`` objective (``+inf`` log-likelihood) is just as much a
+    numerical fault as NaN — letting it through would make the line
+    search chase an unbounded descent direction into garbage.
+    """
+    return value if np.isfinite(value) else np.inf
 
 
 @dataclass
@@ -41,6 +63,11 @@ class OptimizeResult:
     message: str
     #: Objective value after each accepted iteration (for convergence plots).
     history: List[float] = field(default_factory=list)
+    #: True when the run ended because backtracking found no decrease —
+    #: either ordinary convergence-by-stagnation *or*, when it happens
+    #: with ``n_iterations == 0``, a collapse the recovery policy in
+    #: :mod:`repro.optimize.ml` treats as a restartable fault.
+    line_search_failed: bool = False
 
 
 def finite_difference_gradient(
@@ -61,7 +88,7 @@ def finite_difference_gradient(
             # Probe hit an infinite barrier (parameter wall): represent
             # it as a steep finite uphill slope so the direction update
             # stays well-defined.
-            slope = 1e8
+            slope = BARRIER_SLOPE
         grad[i] = slope
     return grad
 
@@ -106,11 +133,9 @@ def minimize_bfgs(
     def f(z: np.ndarray) -> float:
         nonlocal evaluations
         evaluations += 1
-        value = float(fun(z))
-        if np.isnan(value):
-            # Treat NaN as a barrier so the line search backs off.
-            return np.inf
-        return value
+        # Any non-finite value (NaN, ±inf) becomes a +inf barrier so the
+        # line search backs off uniformly.
+        return _barrier(float(fun(z)))
 
     fx = f(x)
     if not np.isfinite(fx):
@@ -120,6 +145,7 @@ def minimize_bfgs(
     history: List[float] = [fx]
     message = "maximum iterations reached"
     converged = False
+    line_search_failed = False
 
     iteration = 0
     for iteration in range(1, max_iterations + 1):
@@ -157,6 +183,7 @@ def minimize_bfgs(
         if not accepted:
             message = "line search failed to find a decrease"
             converged = True
+            line_search_failed = True
             iteration -= 1
             break
 
@@ -188,4 +215,5 @@ def minimize_bfgs(
         converged=converged,
         message=message,
         history=history,
+        line_search_failed=line_search_failed,
     )

@@ -22,7 +22,9 @@ import numpy as np
 import scipy.optimize
 
 from repro.core.engine import BoundLikelihood
+from repro.core.recovery import FitDiagnostics, NumericalEvent, RecoveryPolicy
 from repro.models.base import CodonSiteModel
+from repro.models.parameters import _X_CLIP
 from repro.optimize.bfgs import OptimizeResult, minimize_bfgs
 from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.utils.rng import RngLike, make_rng
@@ -39,6 +41,10 @@ __all__ = [
 #: Branch lengths are optimised as log(t); shorter than this is "zero".
 _MIN_BRANCH = 1e-7
 _MAX_LOG_BRANCH = 6.0  # t ≤ e^6 ≈ 400 expected substitutions — a wall, not a prior
+
+#: A packed model coordinate beyond this fraction of the transform clip
+#: (±`repro.models.parameters._X_CLIP`) counts as parked on its wall.
+_BOUNDARY_FRACTION = 0.9
 
 
 @dataclass
@@ -61,15 +67,20 @@ class FitResult:
     converged: bool
     message: str
     history: list = field(default_factory=list)
+    #: Convergence/recovery diagnostics (empty = clean fit).
+    diagnostics: FitDiagnostics = field(default_factory=FitDiagnostics)
 
     def summary(self) -> str:
         params = ", ".join(f"{k}={v:.4f}" for k, v in self.values.items())
-        return (
+        text = (
             f"{self.model_name} [{self.engine_name}] lnL = {self.lnl:.6f} "
             f"({self.n_iterations} iterations, {self.n_evaluations} evaluations, "
             f"{self.runtime_seconds:.2f} s)\n  {params}\n"
             f"  tree length = {float(np.sum(self.branch_lengths)):.4f}"
         )
+        if self.diagnostics.recovered or self.diagnostics.boundary_flags:
+            text += f"\n  numerics: {self.diagnostics.describe()}"
+        return text
 
 
 def _pack_full(
@@ -146,6 +157,7 @@ def fit_model(
     seed: RngLike = None,
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
     fixed_params: Optional[set] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> FitResult:
     """Maximise the likelihood of ``bound``'s model.
 
@@ -176,6 +188,15 @@ def fit_model(
         (CodeML's ``fix_kappa``-style options).  Only
         ``kappa``/``omega``/``omega0``/``omega2`` can be fixed; the
         proportion pair shares packed coordinates and cannot.
+    recovery:
+        Optional :class:`~repro.core.recovery.RecoveryPolicy`.  When set,
+        the fit restarts from seeded perturbed start points on a
+        non-finite objective at the start, on a line search that
+        collapses before the first step, and on a converged fit whose
+        model parameters are parked on their transform walls; the best
+        optimum across attempts is kept and every trigger lands on
+        ``FitResult.diagnostics``.  ``None`` (default) reproduces the
+        historical single-attempt behaviour bit-for-bit.
 
     Returns
     -------
@@ -225,36 +246,139 @@ def fit_model(
         except (ValueError, FloatingPointError):
             return np.inf
 
-    start_time = time.perf_counter()
-    if method == "bfgs":
-        result = minimize_bfgs(
-            objective,
-            free_x0,
-            gtol=gtol,
-            ftol=ftol,
-            max_iterations=max_iterations,
-            callback=callback,
-        )
-        opt = result
-    elif method == "lbfgsb":
-        res = scipy.optimize.minimize(
-            objective,
-            free_x0,
-            method="L-BFGS-B",
-            options={"maxiter": max_iterations, "ftol": ftol, "gtol": gtol},
-        )
-        opt = OptimizeResult(
-            x=res.x,
-            fun=float(res.fun),
-            n_iterations=int(res.nit),
-            n_evaluations=int(res.nfev),
-            converged=bool(res.success),
-            message=str(res.message),
-            history=[],
-        )
-    else:
+    def _minimize(x_start: np.ndarray) -> OptimizeResult:
+        if method == "bfgs":
+            return minimize_bfgs(
+                objective,
+                x_start,
+                gtol=gtol,
+                ftol=ftol,
+                max_iterations=max_iterations,
+                callback=callback,
+            )
+        if method == "lbfgsb":
+            res = scipy.optimize.minimize(
+                objective,
+                x_start,
+                method="L-BFGS-B",
+                options={"maxiter": max_iterations, "ftol": ftol, "gtol": gtol},
+            )
+            return OptimizeResult(
+                x=res.x,
+                fun=float(res.fun),
+                n_iterations=int(res.nit),
+                n_evaluations=int(res.nfev),
+                converged=bool(res.success),
+                message=str(res.message),
+                history=[],
+            )
         raise ValueError(f"unknown method {method!r}; use 'bfgs' or 'lbfgsb'")
+
+    def _parked_params(x_full: np.ndarray) -> list:
+        """Names of coordinates parked on their transform walls."""
+        flags = []
+        k = model.n_params
+        names = model.param_names
+        for i in range(k):
+            if frozen_idx[i]:
+                continue
+            if abs(float(x_full[i])) >= _BOUNDARY_FRACTION * _X_CLIP:
+                flags.append(names[i] if i < len(names) else f"param[{i}]")
+        return flags
+
+    diagnostics = FitDiagnostics()
+    recorder = getattr(bound.engine, "events", None)
+    events_mark = recorder.mark() if recorder is not None else 0
+
+    start_time = time.perf_counter()
+    if recovery is None:
+        opt = _minimize(free_x0)
+    else:
+        # Seeded restart loop: every perturbation draws from the fit's
+        # own RNG, so recovery is reproducible from the master seed.
+        best: Optional[OptimizeResult] = None
+        attempts: list = []
+        x_start = free_x0
+        while True:
+            f_start = objective(x_start)
+            if not np.isfinite(f_start):
+                diagnostics.events.append(
+                    NumericalEvent(
+                        "nonfinite_start",
+                        "optimizer",
+                        f"objective = {f_start} at the start point",
+                        {"restart": diagnostics.restarts},
+                    )
+                )
+                if diagnostics.restarts >= recovery.max_restarts:
+                    if best is not None:
+                        break
+                    raise ValueError(
+                        "objective is not finite at the start point "
+                        f"(after {diagnostics.restarts} restarts)"
+                    )
+                diagnostics.restarts += 1
+                diagnostics.events.append(
+                    NumericalEvent(
+                        "optimizer_restart",
+                        "optimizer",
+                        "non-finite start",
+                        {"restart": diagnostics.restarts},
+                    )
+                )
+                x_start = recovery.perturb(free_x0, rng)
+                continue
+            attempt = _minimize(x_start)
+            attempts.append(attempt)
+            if best is None or attempt.fun < best.fun:
+                best = attempt
+            collapsed = (
+                attempt.line_search_failed
+                and attempt.n_iterations == 0
+                and recovery.restart_on_line_search_collapse
+            )
+            parked = _parked_params(_expand(attempt.x))
+            if (
+                not (collapsed or parked)
+                or diagnostics.restarts >= recovery.max_restarts
+            ):
+                break
+            diagnostics.restarts += 1
+            diagnostics.events.append(
+                NumericalEvent(
+                    "optimizer_restart",
+                    "optimizer",
+                    "line search collapsed before the first step"
+                    if collapsed
+                    else "parameters parked at bounds: " + ",".join(parked),
+                    {"restart": diagnostics.restarts},
+                )
+            )
+            x_start = recovery.perturb(free_x0, rng)
+        assert best is not None
+        # Attribute the *total* work across attempts to the kept optimum
+        # so Table-III-style accounting reflects what was actually spent.
+        best.n_iterations = sum(a.n_iterations for a in attempts)
+        best.n_evaluations = sum(a.n_evaluations for a in attempts)
+        opt = best
     runtime = time.perf_counter() - start_time
+
+    if recovery is not None or recorder is not None:
+        parked = _parked_params(_expand(opt.x))
+        if optimize_branch_lengths:
+            k = model.n_params
+            logs = _expand(opt.x)[k:]
+            lo = math.log(_MIN_BRANCH)
+            for j, v in enumerate(logs):
+                if v <= lo or v >= _MAX_LOG_BRANCH:
+                    parked.append(f"branch[{j}]")
+        if parked:
+            diagnostics.boundary_flags = parked
+            diagnostics.events.append(
+                NumericalEvent("boundary_parked", "optimizer", ",".join(parked))
+            )
+        if recorder is not None:
+            diagnostics.events.extend(recorder.since(events_mark))
 
     values, lengths = _unpack_full(model, _expand(opt.x), fixed_lengths, optimize_branch_lengths)
     return FitResult(
@@ -269,6 +393,7 @@ def fit_model(
         converged=opt.converged,
         message=opt.message,
         history=[-h for h in opt.history],
+        diagnostics=diagnostics,
     )
 
 
@@ -398,6 +523,8 @@ def fit_branch_site_test(
             retry.n_iterations += h1.n_iterations
             retry.n_evaluations += h1.n_evaluations
             retry.runtime_seconds += h1.runtime_seconds
+            retry.diagnostics.restarts += h1.diagnostics.restarts
+            retry.diagnostics.events = h1.diagnostics.events + retry.diagnostics.events
             h1 = retry
     lrt = likelihood_ratio_test(h0.lnl, h1.lnl, df=1)
     return BranchSiteTest(h0=h0, h1=h1, lrt=lrt)

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.alignment.msa import CodonAlignment
 from repro.core.engine import make_engine
+from repro.core.recovery import FitDiagnostics, RecoveryConfig, RecoveryPolicy
 from repro.io.results_io import ResultJournal
 from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
@@ -96,10 +97,20 @@ class GeneResult:
     #: (``pid:<n>`` for the process pool, the registered worker id for the
     #: socket backend, ``None`` when unattributable).
     worker: Optional[str] = None
+    #: Combined H0+H1 numerical diagnostics as a JSON dict (see
+    #: :meth:`repro.core.recovery.FitDiagnostics.to_dict`), with boundary
+    #: flags prefixed ``h0:``/``h1:``.  ``None`` = clean fit or recovery
+    #: disabled — nothing fired.
+    diagnostics: Optional[Dict] = None
 
     @property
     def failed(self) -> bool:
         return self.error is not None
+
+    @property
+    def recovered(self) -> bool:
+        """True when any numerical recovery machinery fired for this gene."""
+        return self.diagnostics is not None
 
     @classmethod
     def from_failure(cls, failure: TaskFailure, worker: Optional[str] = None) -> "GeneResult":
@@ -118,20 +129,46 @@ class GeneResult:
         )
 
 
-def _run_gene(args: Tuple[GeneJob, str, int, int]) -> GeneResult:
+def _combine_diagnostics(h0: FitDiagnostics, h1: FitDiagnostics) -> Optional[Dict]:
+    """Fold a test's per-hypothesis diagnostics into one JSON dict.
+
+    Returns ``None`` when nothing fired in either fit, so the common
+    clean case costs one key in neither pickled payloads nor journals.
+    Boundary flags are prefixed with the hypothesis they came from.
+    """
+    if not (h0.recovered or h1.recovered or h0.boundary_flags or h1.boundary_flags):
+        return None
+    merged = FitDiagnostics(
+        restarts=h0.restarts + h1.restarts,
+        boundary_flags=[f"h0:{f}" for f in h0.boundary_flags]
+        + [f"h1:{f}" for f in h1.boundary_flags],
+        events=h0.events + h1.events,
+    )
+    return merged.to_dict()
+
+
+def _run_gene(args: Tuple) -> GeneResult:
     """Worker entry point (module-level so it pickles).
+
+    The payload is ``(job, engine_name, seed, max_iterations)`` with an
+    optional fifth ``recover`` flag (older 4-tuples keep working — the
+    journal-resume and custom-worker seams rely on that).
 
     Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
     owns error capture, classification and retries.
     """
-    job, engine_name, seed, max_iterations = args
+    job, engine_name, seed, max_iterations = args[:4]
+    recover = bool(args[4]) if len(args) > 4 else False
     tree = parse_newick(job.newick)
     alignment = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
-    engine = make_engine(engine_name)
+    engine = make_engine(
+        engine_name, recovery=RecoveryConfig() if recover else None
+    )
     test = fit_branch_site_test(
         lambda model: engine.bind(tree, alignment, model),
         seed=seed,
         max_iterations=max_iterations,
+        recovery=RecoveryPolicy() if recover else None,
     )
     return GeneResult(
         gene_id=job.gene_id,
@@ -142,6 +179,7 @@ def _run_gene(args: Tuple[GeneJob, str, int, int]) -> GeneResult:
         iterations=test.combined_iterations,
         runtime_seconds=test.combined_runtime,
         n_evaluations=test.combined_evaluations,
+        diagnostics=_combine_diagnostics(test.h0.diagnostics, test.h1.diagnostics),
     )
 
 
@@ -154,9 +192,10 @@ def analyze_genes(
     policy: Optional[FaultPolicy] = None,
     journal: Optional[str] = None,
     resume: bool = False,
-    worker: Optional[Callable[[Tuple[GeneJob, str, int, int]], GeneResult]] = None,
+    worker: Optional[Callable[[Tuple], GeneResult]] = None,
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
     executor: Optional[Executor] = None,
+    recover: bool = False,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -191,6 +230,13 @@ def analyze_genes(
         *not* shut down, so e.g. one connected
         :class:`~repro.parallel.executors.sockets.SocketExecutor` fleet
         can serve a scan and then its journal resume.
+    recover:
+        Enable the numerical self-healing layer in each worker: engines
+        run with guarded decomposition/operators
+        (:class:`~repro.core.recovery.RecoveryConfig`) and fits restart
+        per :class:`~repro.core.recovery.RecoveryPolicy`; whatever fired
+        rides back on ``GeneResult.diagnostics``.  Off by default —
+        results are then bit-identical to the unguarded code.
 
     Returns
     -------
@@ -202,7 +248,7 @@ def analyze_genes(
     run = worker if worker is not None else _run_gene
 
     results: List[Optional[GeneResult]] = [None] * len(jobs)
-    payloads: List[Tuple[GeneJob, str, int, int]] = []
+    payloads: List[Tuple] = []
     payload_jobs: List[int] = []  # payload position -> job index
 
     done: Dict[str, GeneResult] = {}
@@ -212,7 +258,10 @@ def analyze_genes(
         if job.gene_id in done:
             results[k] = done[job.gene_id]
         else:
-            payloads.append((job, engine, seed + k, max_iterations))
+            base = (job, engine, seed + k, max_iterations)
+            # Keep the historical 4-tuple when recovery is off so custom
+            # workers written against it never see a surprise element.
+            payloads.append(base + (True,) if recover else base)
             payload_jobs.append(k)
 
     sink = ResultJournal(journal) if journal is not None else None
@@ -327,6 +376,7 @@ def scan_branches(
     worker: Optional[Callable] = None,
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
     executor: Optional[Executor] = None,
+    recover: bool = False,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -357,6 +407,7 @@ def scan_branches(
         worker=worker,
         on_result=on_result,
         executor=executor,
+        recover=recover,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

@@ -46,6 +46,15 @@ class BatchSummary:
     tasks_by_worker: Dict[str, int] = field(default_factory=dict)
     #: Worker identity → successful compute seconds it contributed.
     runtime_by_worker: Dict[str, float] = field(default_factory=dict)
+    #: Tasks whose numerical self-healing layer fired (recovery enabled
+    #: and at least one event/restart/boundary flag recorded).
+    n_recovered: int = 0
+    #: ``gene_id`` of those tasks, for per-gene drill-down.
+    recovered_ids: List[str] = field(default_factory=list)
+    #: Optimizer restarts summed across recovered tasks.
+    total_restarts: int = 0
+    #: Numerical event kind → occurrence count across all tasks.
+    events_by_kind: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_resumed(self) -> int:
@@ -62,6 +71,14 @@ class BatchSummary:
         worker = getattr(result, "worker", None)
         if worker is not None and not resumed:
             self.tasks_by_worker[worker] = self.tasks_by_worker.get(worker, 0) + 1
+        diagnostics = getattr(result, "diagnostics", None)
+        if diagnostics:
+            self.n_recovered += 1
+            self.recovered_ids.append(result.gene_id)
+            self.total_restarts += int(diagnostics.get("restarts", 0))
+            for event in diagnostics.get("events", []):
+                kind = event.get("kind", "unknown")
+                self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
         if result.failed:
             self.n_failed += 1
             kind = result.failure.kind if result.failure is not None else "error"
@@ -96,6 +113,19 @@ class BatchSummary:
             f"{self.total_iterations} optimizer iterations, "
             f"{self.total_evaluations} likelihood evaluations"
         )
+        if self.n_recovered:
+            line = (
+                f"numerics   : {self.n_recovered} "
+                f"task{'s' if self.n_recovered != 1 else ''} recovered, "
+                f"{self.total_restarts} optimizer restart"
+                f"{'s' if self.total_restarts != 1 else ''}"
+            )
+            if self.events_by_kind:
+                line += ", events: " + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.events_by_kind.items())
+                )
+            lines.append(line)
         if self.tasks_by_worker:
             parts = ", ".join(
                 f"{worker}={count} task{'s' if count != 1 else ''}"
