@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-iterations", type=int, default=None)
     run.add_argument("--beb", action="store_true", help="compute BEB site probabilities")
     run.add_argument("--cleandata", action="store_true", help="drop columns with gaps")
+    run.add_argument(
+        "--incremental", action="store_true",
+        help="enable incremental likelihood evaluation (dirty-path CLV "
+             "caching + cross-class subtree sharing); bit-identical to "
+             "full re-pruning",
+    )
 
     scan = sub.add_parser(
         "scan",
@@ -92,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the numerical self-healing layer (eigensolver fallback "
              "ladder, P(t) guards, optimizer restarts); disabled runs are "
              "bit-identical to the historical unguarded code",
+    )
+    scan.add_argument(
+        "--no-incremental", dest="incremental", action="store_false", default=True,
+        help="disable incremental likelihood evaluation (dirty-path CLV "
+             "caching + cross-class subtree sharing); incremental runs "
+             "are bit-identical to full re-pruning",
     )
     scan.add_argument(
         "--executor", default=None, choices=["inline", "pool", "socket"],
@@ -170,7 +182,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     engine = make_engine(engine_name)
     test = fit_branch_site_test(
-        lambda model: engine.bind(tree, alignment, model, freq_method=ctl.freq_method),
+        lambda model: engine.bind(
+            tree, alignment, model,
+            freq_method=ctl.freq_method,
+            incremental=args.incremental,
+        ),
         seed=seed,
         max_iterations=max_iterations,
         start_overrides={"kappa": ctl.kappa},
@@ -285,6 +301,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             on_result=progress,
             executor=executor,
             recover=args.recover,
+            incremental=args.incremental,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.

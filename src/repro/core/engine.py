@@ -62,7 +62,12 @@ from repro.likelihood.mixture import (
     mixture_log_likelihood,
     site_class_log_likelihoods,
 )
-from repro.likelihood.pruning import build_leaf_clvs, prune_site_class
+from repro.likelihood.pruning import (
+    PruningResult,
+    PruningState,
+    build_leaf_clvs,
+    prune_site_class,
+)
 from repro.models.base import CodonSiteModel, SiteClass
 from repro.models.scaling import build_class_matrices
 from repro.trees.tree import Tree
@@ -157,6 +162,10 @@ class LikelihoodEngine:
         self._transition_cache_size = transition_cache_size
         self.transition_hits = 0
         self.transition_misses = 0
+        #: CLV propagations actually executed (all modes) and branch
+        #: applications served from incremental-state buffers instead.
+        self.clv_propagations = 0
+        self.clv_reuses = 0
 
     # ------------------------------------------------------------------
     # Kernel hooks (overridden per engine)
@@ -184,6 +193,15 @@ class LikelihoodEngine:
         return guard_transition_matrix(
             operator, self.recovery, self.events, t=t, engine=self.name
         )
+
+    def _count_saved_propagation(self, shape: Tuple[int, int]) -> None:
+        """Ledger one branch application the incremental layer skipped.
+
+        Mirrors exactly what this engine's :meth:`_propagate` would have
+        charged to the flop counter, but into the *saved* ledger
+        (:meth:`FlopCounter.note_saved`), so totals remain honest counts
+        of executed arithmetic.  Only called when a counter is attached.
+        """
 
     # ------------------------------------------------------------------
     def _decompose(self, matrix: CodonRateMatrix):
@@ -229,11 +247,17 @@ class LikelihoodEngine:
             return self._make_operator(decomp, t)
 
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters for both caches (batch-scan metrics)."""
+        """Hit/miss/size counters for the caches (batch-scan metrics).
+
+        ``clv_propagations``/``clv_reuses`` cover the incremental CLV
+        layer: applications executed versus served from state buffers.
+        """
         stats = {
             "transition_hits": self.transition_hits,
             "transition_misses": self.transition_misses,
             "transition_size": len(self._transition_cache),
+            "clv_propagations": self.clv_propagations,
+            "clv_reuses": self.clv_reuses,
         }
         if self._decomp_cache is not None:
             stats.update(
@@ -251,12 +275,15 @@ class LikelihoodEngine:
         model: CodonSiteModel,
         pi: Optional[np.ndarray] = None,
         freq_method: str = "f3x4",
+        incremental: bool = False,
     ) -> "BoundLikelihood":
         """Bind this engine to a (tree, alignment, model) problem.
 
         ``pi`` defaults to the CodeML-style empirical estimate
         (``freq_method``, default F3x4) computed from the *uncompressed*
-        alignment.
+        alignment.  ``incremental=True`` enables dirty-path CLV caching
+        and cross-class subtree sharing on the binding (bit-identical to
+        full re-pruning; see :class:`BoundLikelihood`).
         """
         if isinstance(data, PatternAlignment):
             patterns = data
@@ -272,14 +299,10 @@ class LikelihoodEngine:
                     data.to_sequences(), method=freq_method, code=self.code
                 )
             patterns = compress_patterns(data)
-        return BoundLikelihood(self, tree, patterns, model, np.asarray(pi, dtype=float))
-
-
-def _as_fortran_operand(matrix: np.ndarray) -> np.ndarray:
-    """A Fortran-contiguous view/copy suitable for BLAS without per-call copies."""
-    if matrix.flags["F_CONTIGUOUS"]:
-        return matrix
-    return np.asfortranarray(matrix)
+        return BoundLikelihood(
+            self, tree, patterns, model, np.asarray(pi, dtype=float),
+            incremental=incremental,
+        )
 
 
 class BaselineEngine(LikelihoodEngine):
@@ -302,6 +325,11 @@ class BaselineEngine(LikelihoodEngine):
                              reads=n_patterns * n * n)
         return out
 
+    def _count_saved_propagation(self, shape: Tuple[int, int]) -> None:
+        n, n_patterns = shape
+        self.counter.note_saved("clv:einsum-matvec", n_patterns * gemv_flops(n, n),
+                                reads=n_patterns * n * n)
+
 
 class SlimEngine(LikelihoodEngine):
     """SlimCodeML as evaluated in the paper: dsyrk expm + per-site dgemv.
@@ -320,24 +348,40 @@ class SlimEngine(LikelihoodEngine):
         self.bundled = bundled
 
     def _build_operator(self, decomp: SpectralDecomposition, t: float) -> np.ndarray:
-        return transition_matrix_syrk(decomp, t, counter=self.counter)
+        # Fortran layout once at build time: every per-pattern dgemv (and
+        # the bundled dgemm) then takes the operator as-is, instead of
+        # re-deriving a BLAS-ready operand on each CLV application.
+        return np.asfortranarray(transition_matrix_syrk(decomp, t, counter=self.counter))
+
+    def _wrap_probability_matrix(self, p: np.ndarray, pi: np.ndarray) -> np.ndarray:
+        return np.asfortranarray(p)
 
     def _propagate(self, operator: np.ndarray, clv: np.ndarray) -> np.ndarray:
         n, n_patterns = clv.shape
         if self.bundled:
-            out = dgemm(1.0, _as_fortran_operand(operator), clv)
+            out = dgemm(1.0, operator, clv)
             if self.counter is not None:
                 self.counter.add("clv:dgemm", gemm_flops(n, n_patterns, n), reads=n * n)
             return out
-        # dgemv on aᵀ with trans=1 computes a·x without copying the C-ordered a.
-        a_t = _as_fortran_operand(operator.T)
         out = np.empty_like(clv, order="F")
         for p in range(n_patterns):
-            out[:, p] = dgemv(1.0, a_t, clv[:, p], trans=1)
+            # Writing straight into the F-contiguous output column skips
+            # the per-site result allocation + copy-back of `out[:, p] = ...`.
+            dgemv(1.0, operator, clv[:, p], beta=0.0, y=out[:, p], overwrite_y=1)
         if self.counter is not None:
             self.counter.add("clv:dgemv", n_patterns * gemv_flops(n, n),
                              reads=n_patterns * n * n)
+            self.counter.note_saved("clv:dgemv-writeback", reads=n_patterns * n)
         return out
+
+    def _count_saved_propagation(self, shape: Tuple[int, int]) -> None:
+        n, n_patterns = shape
+        if self.bundled:
+            self.counter.note_saved("clv:dgemm", gemm_flops(n, n_patterns, n),
+                                    reads=n * n)
+        else:
+            self.counter.note_saved("clv:dgemv", n_patterns * gemv_flops(n, n),
+                                    reads=n_patterns * n * n)
 
 
 class SlimV2Engine(LikelihoodEngine):
@@ -358,8 +402,12 @@ class SlimV2Engine(LikelihoodEngine):
         self.bundled = bundled
 
     def _build_operator(self, decomp: SpectralDecomposition, t: float) -> tuple:
+        # M is exactly symmetric by construction (lower + lowerᵀ), so the
+        # Fortran relayout at build time changes which triangle dsymm
+        # reads but not a single value — and drops the per-application
+        # transpose-view/relayout work from the hot path.
         m = symmetric_branch_matrix(decomp, t, counter=self.counter)
-        return (m, decomp.pi)
+        return (np.asfortranarray(m), decomp.pi)
 
     def _wrap_probability_matrix(self, p: np.ndarray, pi: np.ndarray) -> tuple:
         # Rebuild the symmetric form from a Padé P(t): M = P Π^{-1} is
@@ -367,7 +415,7 @@ class SlimV2Engine(LikelihoodEngine):
         # removes the Padé round-off asymmetry the dsymm kernel would
         # otherwise silently half-read.
         m = p * (1.0 / pi)[None, :]
-        return (0.5 * (m + m.T), pi)
+        return (np.asfortranarray(0.5 * (m + m.T)), pi)
 
     def _guard_operator(self, operator: tuple, t: float) -> tuple:
         assert self.recovery is not None
@@ -380,21 +428,32 @@ class SlimV2Engine(LikelihoodEngine):
     def _propagate(self, operator: tuple, clv: np.ndarray) -> np.ndarray:
         m, pi = operator
         n, n_patterns = clv.shape
-        scaled = np.asfortranarray(pi[:, None] * clv)
-        m_f = _as_fortran_operand(m.T)  # symmetric: Mᵀ = M, F-view of C storage
+        # Π-scale into a preallocated F buffer (no C-temp + relayout copy).
+        scaled = np.empty((n, n_patterns), order="F")
+        np.multiply(pi[:, None], clv, out=scaled)
         if self.bundled:
-            out = dsymm(1.0, m_f, scaled, side=0, lower=0)
+            out = dsymm(1.0, m, scaled, side=0, lower=0)
             if self.counter is not None:
                 self.counter.add("clv:dsymm", symm_flops(n, n_patterns),
                                  reads=n * (n + 1) // 2)
             return out
         out = np.empty_like(clv, order="F")
         for p in range(n_patterns):
-            out[:, p] = dsymv(1.0, m_f, scaled[:, p], lower=0)
+            dsymv(1.0, m, scaled[:, p], beta=0.0, y=out[:, p], overwrite_y=1, lower=0)
         if self.counter is not None:
             self.counter.add("clv:dsymv", n_patterns * symv_flops(n),
                              reads=n_patterns * n * (n + 1) // 2)
+            self.counter.note_saved("clv:dsymv-writeback", reads=n_patterns * n)
         return out
+
+    def _count_saved_propagation(self, shape: Tuple[int, int]) -> None:
+        n, n_patterns = shape
+        if self.bundled:
+            self.counter.note_saved("clv:dsymm", symm_flops(n, n_patterns),
+                                    reads=n * (n + 1) // 2)
+        else:
+            self.counter.note_saved("clv:dsymv", n_patterns * symv_flops(n),
+                                    reads=n_patterns * n * (n + 1) // 2)
 
 
 class BoundLikelihood:
@@ -404,6 +463,28 @@ class BoundLikelihood:
     :meth:`Tree.branch_lengths`) so evaluations never mutate the caller's
     tree.  Exposes exactly what the optimizer and the empirical-Bayes
     step need.
+
+    With ``incremental=True`` the binding keeps per-class
+    :class:`~repro.likelihood.pruning.PruningState` buffers between
+    evaluations and recomputes only dirty paths (DESIGN.md §9):
+
+    * Dirty branches are derived from *exact value differences* against
+      the last committed evaluation — same model values and one changed
+      branch length re-prune one root path; changed model values
+      invalidate everything.  Correctness therefore never depends on the
+      optional ``touched`` hint.
+    * ``touched`` (a finite-difference probe's coordinate hint) marks an
+      evaluation as a transient probe: it is evaluated against the
+      committed base state via derived (copy-on-write) states and does
+      not advance it, so successive gradient probes each dirty one path
+      instead of two.
+    * Site classes sharing their background ω (model A pairs 0↔2a and
+      1↔2b) alias each other's buffers and re-prune only the
+      foreground-to-root path — or nothing when the foreground ω is
+      also equal (e.g. H0's 1↔2b).
+
+    All reuse is bit-identical to full re-pruning (exact float
+    equality), enforced by ``tests/test_incremental.py``.
     """
 
     def __init__(
@@ -413,6 +494,7 @@ class BoundLikelihood:
         patterns: PatternAlignment,
         model: CodonSiteModel,
         pi: np.ndarray,
+        incremental: bool = False,
     ) -> None:
         tree.validate_branch_lengths()
         if model.requires_foreground:
@@ -442,6 +524,26 @@ class BoundLikelihood:
         self._n_nodes = len(tree.nodes)
         self.branch_lengths = np.array(tree.branch_lengths(), dtype=float)
 
+        # Incremental-evaluation state (see class docstring / DESIGN.md §9).
+        self.incremental = bool(incremental)
+        self._child_of_pos = {pos: child for child, _, pos, _ in self._rows}
+        self._fg_children = [child for child, _, _, fg in self._rows if fg]
+        self._inc_states: Dict[int, PruningState] = {}
+        self._inc_values: Optional[Dict[str, float]] = None
+        self._inc_lengths: Optional[np.ndarray] = None
+        self._class_memo: Optional[Tuple[Dict[str, float], List[SiteClass], Dict]] = None
+
+    def set_incremental(self, enabled: bool) -> None:
+        """Toggle incremental evaluation, dropping any cached state."""
+        self.incremental = bool(enabled)
+        self._invalidate_incremental()
+
+    def _invalidate_incremental(self) -> None:
+        self._inc_states = {}
+        self._inc_values = None
+        self._inc_lengths = None
+        self._class_memo = None
+
     # ------------------------------------------------------------------
     @property
     def n_branches(self) -> int:
@@ -462,12 +564,38 @@ class BoundLikelihood:
         self.branch_lengths = lengths.copy()
 
     # ------------------------------------------------------------------
-    def _evaluate_classes(
-        self, values: Dict[str, float], lengths: np.ndarray
-    ) -> Tuple[List, List[SiteClass]]:
+    def _classes_and_decomps(self, values: Dict[str, float]):
+        """Site classes + per-ω decompositions, memoised in incremental mode.
+
+        Gradient probes of branch-length coordinates leave the model
+        values untouched, so rebuilding the rate matrices per probe would
+        dominate a dirty-path evaluation; one exact-value memo entry
+        (last values seen) removes that cost.  Non-incremental bindings
+        keep the historical per-evaluation rebuild bit-for-bit.
+        """
+        memo = self._class_memo
+        if memo is not None and memo[0] == values:
+            return memo[1], memo[2]
         classes = self.model.site_classes(values)
         matrices = build_class_matrices(values["kappa"], classes, self.pi, self.engine.code)
         decomps = {omega: self.engine._decompose(m) for omega, m in matrices.items()}
+        if self.incremental:
+            self._class_memo = (dict(values), classes, decomps)
+        return classes, decomps
+
+    def _note_reuse(self, contribution: np.ndarray) -> None:
+        engine = self.engine
+        engine.clv_reuses += 1
+        if engine.counter is not None:
+            engine._count_saved_propagation(contribution.shape)
+
+    def _evaluate_classes(
+        self,
+        values: Dict[str, float],
+        lengths: np.ndarray,
+        touched: "Optional[object]" = None,
+    ) -> Tuple[List, List[SiteClass]]:
+        classes, decomps = self._classes_and_decomps(values)
         operator_memo: Dict[Tuple[float, float], object] = {}
 
         def factory_for(cls: SiteClass):
@@ -483,6 +611,7 @@ class BoundLikelihood:
             return transition
 
         def propagate(op: object, clv: np.ndarray) -> np.ndarray:
+            self.engine.clv_propagations += 1
             with self.engine.stopwatch.measure("clv"):
                 return self.engine._propagate(op, clv)
 
@@ -491,30 +620,123 @@ class BoundLikelihood:
             for child, parent, pos, fg in self._rows
         ]
         guarded = self.engine.recovery is not None
-        results = [
-            prune_site_class(
-                rows, self._n_nodes, self._leaf_clvs, factory_for(cls), propagate,
-                guard=PruningGuard(
-                    recorder=self.engine.events,
-                    context={"site_class": cls.label, "engine": self.engine.name},
-                ) if guarded else None,
+
+        def guard_for(cls: SiteClass):
+            if not guarded:
+                return None
+            return PruningGuard(
+                recorder=self.engine.events,
+                context={"site_class": cls.label, "engine": self.engine.name},
             )
-            for cls in classes
-        ]
+
+        if not self.incremental:
+            results = [
+                prune_site_class(
+                    rows, self._n_nodes, self._leaf_clvs, factory_for(cls), propagate,
+                    guard=guard_for(cls),
+                )
+                for cls in classes
+            ]
+            return results, classes
+        return self._evaluate_incremental(
+            values, lengths, classes, rows, factory_for, propagate, guard_for, touched
+        )
+
+    def _evaluate_incremental(
+        self, values, lengths, classes, rows, factory_for, propagate, guard_for, touched
+    ) -> Tuple[List[PruningResult], List[SiteClass]]:
+        commit = touched is None
+        full = True
+        dirty_children: set = set()
+        if self._inc_values is not None and values == self._inc_values:
+            diff = np.flatnonzero(np.asarray(lengths, dtype=float) != self._inc_lengths)
+            dirty_children = {self._child_of_pos[int(p)] for p in diff}
+            full = False
+
+        try:
+            results: List[PruningResult] = []
+            new_states: Dict[int, PruningState] = {}
+            first_with_bg: Dict[float, int] = {}
+            for idx, cls in enumerate(classes):
+                base_idx = first_with_bg.get(cls.omega_background)
+                base_cls = classes[base_idx] if base_idx is not None else None
+                same_fg = (
+                    base_cls is not None
+                    and cls.omega_foreground == base_cls.omega_foreground
+                )
+                if base_idx is not None and (full or same_fg):
+                    # Cross-class subtree sharing: every background
+                    # operator matches the base class, so subtrees not
+                    # containing the foreground branch have bit-identical
+                    # CLVs — alias them and re-prune only the
+                    # foreground-to-root path (nothing at all when the
+                    # foreground ω matches too, e.g. H0's 1↔2b).
+                    state = new_states[base_idx].derive()
+                    cls_dirty = set() if same_fg else set(self._fg_children)
+                    res = prune_site_class(
+                        rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
+                        propagate, guard=guard_for(cls), state=state,
+                        dirty=cls_dirty, on_reuse=self._note_reuse,
+                    )
+                else:
+                    state = self._inc_states.get(idx)
+                    if full or state is None or not state.ready:
+                        state = PruningState.empty(self._n_nodes)
+                        res = prune_site_class(
+                            rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
+                            propagate, guard=guard_for(cls), state=state,
+                        )
+                    else:
+                        if not commit:
+                            # Probe: evaluate against the base state via a
+                            # copy-on-write derivation, leave it untouched.
+                            state = state.derive()
+                        res = prune_site_class(
+                            rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
+                            propagate, guard=guard_for(cls), state=state,
+                            dirty=dirty_children, on_reuse=self._note_reuse,
+                        )
+                    if cls.omega_background not in first_with_bg:
+                        first_with_bg[cls.omega_background] = idx
+                new_states[idx] = state
+                results.append(res)
+        except Exception:
+            # A committing evaluation may have advanced some class states
+            # in place before failing; the cached base values would then
+            # misdescribe them, so drop everything rather than risk a
+            # stale-reuse miscomputation on the next call.
+            self._invalidate_incremental()
+            raise
+        if commit:
+            self._inc_states = new_states
+            self._inc_values = dict(values)
+            self._inc_lengths = np.asarray(lengths, dtype=float).copy()
         return results, classes
 
     def log_likelihood(
         self,
         values: Dict[str, float],
         branch_lengths: Optional[Sequence[float]] = None,
+        touched: "Optional[object]" = None,
     ) -> float:
-        """Evaluate lnL at ``values`` (model params) and branch lengths."""
+        """Evaluate lnL at ``values`` (model params) and branch lengths.
+
+        ``touched`` (incremental bindings only) marks this evaluation as
+        a transient finite-difference probe: either ``"model"`` or a
+        tuple of branch-length positions the caller perturbed.  The hint
+        is advisory — dirty paths are always derived from exact value
+        differences — but a hinted evaluation does not advance the
+        cached base state, so a gradient's probes each re-prune one
+        path instead of two.
+        """
+        if touched is not None and not self.incremental:
+            raise ValueError("touched hints require an incremental=True binding")
         lengths = (
             np.asarray(branch_lengths, dtype=float)
             if branch_lengths is not None
             else self.branch_lengths
         )
-        results, classes = self._evaluate_classes(values, lengths)
+        results, classes = self._evaluate_classes(values, lengths, touched=touched)
         proportions = [c.proportion for c in classes]
         class_lnl = site_class_log_likelihoods(results, self.pi)
         if self.engine.recovery is not None:

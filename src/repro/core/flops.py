@@ -91,11 +91,26 @@ class FlopCounter:
 
     by_operation: Dict[str, int] = field(default_factory=dict)
     matrix_reads: Dict[str, int] = field(default_factory=dict)
+    #: Work *not* performed because a cached result was reused (the
+    #: incremental CLV layer reports skipped ``dsymm``/``dgemv`` calls
+    #: here).  Kept separate so :attr:`total_flops` stays an honest
+    #: count of arithmetic actually executed.
+    saved_by_operation: Dict[str, int] = field(default_factory=dict)
+    saved_reads: Dict[str, int] = field(default_factory=dict)
 
     def add(self, operation: str, flops: int, reads: int = 0) -> None:
         self.by_operation[operation] = self.by_operation.get(operation, 0) + int(flops)
         if reads:
             self.matrix_reads[operation] = self.matrix_reads.get(operation, 0) + int(reads)
+
+    def note_saved(self, operation: str, flops: int = 0, reads: int = 0) -> None:
+        """Record work that a cache/reuse path avoided (never in totals)."""
+        if flops:
+            self.saved_by_operation[operation] = (
+                self.saved_by_operation.get(operation, 0) + int(flops)
+            )
+        if reads:
+            self.saved_reads[operation] = self.saved_reads.get(operation, 0) + int(reads)
 
     @property
     def total_flops(self) -> int:
@@ -105,9 +120,19 @@ class FlopCounter:
     def total_reads(self) -> int:
         return sum(self.matrix_reads.values())
 
+    @property
+    def total_saved_flops(self) -> int:
+        return sum(self.saved_by_operation.values())
+
+    @property
+    def total_saved_reads(self) -> int:
+        return sum(self.saved_reads.values())
+
     def reset(self) -> None:
         self.by_operation.clear()
         self.matrix_reads.clear()
+        self.saved_by_operation.clear()
+        self.saved_reads.clear()
 
     def merge(self, other: "FlopCounter") -> None:
         """Fold another counter's totals into this one (for parallel fits)."""
@@ -115,9 +140,28 @@ class FlopCounter:
             self.add(op, fl)
         for op, rd in other.matrix_reads.items():
             self.matrix_reads[op] = self.matrix_reads.get(op, 0) + rd
+        for op, fl in other.saved_by_operation.items():
+            self.note_saved(op, flops=fl)
+        for op, rd in other.saved_reads.items():
+            self.note_saved(op, reads=rd)
 
     def summary(self) -> str:
         rows = sorted(self.by_operation.items(), key=lambda kv: -kv[1])
         lines = [f"{op:<28s} {fl:>16,d} flops" for op, fl in rows]
         lines.append(f"{'TOTAL':<28s} {self.total_flops:>16,d} flops")
+        if self.saved_by_operation or self.saved_reads:
+            lines.append("saved by reuse:")
+            ops = sorted(
+                set(self.saved_by_operation) | set(self.saved_reads),
+                key=lambda op: -self.saved_by_operation.get(op, 0),
+            )
+            for op in ops:
+                lines.append(
+                    f"{op:<28s} {self.saved_by_operation.get(op, 0):>16,d} flops "
+                    f"{self.saved_reads.get(op, 0):>14,d} reads"
+                )
+            lines.append(
+                f"{'TOTAL SAVED':<28s} {self.total_saved_flops:>16,d} flops "
+                f"{self.total_saved_reads:>14,d} reads"
+            )
         return "\n".join(lines)

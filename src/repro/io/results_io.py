@@ -41,8 +41,9 @@ SCHEMA_VERSION = 1
 #: skips unknown keys and unknown kinds, so older journals — including
 #: headerless v1 journals from before this field existed — stay
 #: resumable.  Version 2 added the header itself and per-record worker
-#: identity; version 3 added per-gene numerical-recovery ``diagnostics``.
-JOURNAL_VERSION = 3
+#: identity; version 3 added per-gene numerical-recovery ``diagnostics``;
+#: version 4 added per-gene incremental-evaluation ``clv_stats``.
+JOURNAL_VERSION = 4
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -200,6 +201,7 @@ def gene_result_to_dict(result) -> Dict:
         "failure": failure,
         "worker": getattr(result, "worker", None),
         "diagnostics": getattr(result, "diagnostics", None),
+        "clv_stats": getattr(result, "clv_stats", None),
     })
 
 
@@ -238,6 +240,7 @@ def gene_result_from_dict(payload: Dict):
         failure=failure,
         worker=payload.get("worker"),
         diagnostics=payload.get("diagnostics"),
+        clv_stats=payload.get("clv_stats"),
     )
 
 

@@ -9,11 +9,17 @@ and applied) are injected by :mod:`repro.core.engine`.
 
 from repro.likelihood.ancestral import AncestralReconstruction, marginal_reconstruction
 from repro.likelihood.mixture import mixture_log_likelihood, site_class_log_likelihoods
-from repro.likelihood.pruning import PruningResult, build_leaf_clvs, prune_site_class
+from repro.likelihood.pruning import (
+    PruningResult,
+    PruningState,
+    build_leaf_clvs,
+    prune_site_class,
+)
 
 __all__ = [
     "AncestralReconstruction",
     "PruningResult",
+    "PruningState",
     "build_leaf_clvs",
     "marginal_reconstruction",
     "mixture_log_likelihood",

@@ -12,19 +12,30 @@ maximum drops below a threshold the column is renormalised and the log
 factor accumulated per pattern; the root likelihood re-applies the
 accumulated logs.  This is the standard CodeML/RAxML technique and is
 exercised directly by the 95-species dataset iv.
+
+Incremental (dirty-path) mode: a :class:`PruningState` keeps every
+node's CLV, every branch's propagated contribution, and every node's
+per-pattern rescale vector between evaluations.  Given the set of
+branches whose operator changed, only CLVs on the paths from those
+branches to the root are recomputed; everything else is served from the
+state buffers.  The recomputation replays the *same* arithmetic in the
+*same* order as a full pass (child contributions multiplied in
+branch-table row order, rescale vectors summed in node completion
+order), so incremental results are bit-identical to full re-pruning —
+see DESIGN.md §9 for the invalidation rules and the proof obligations.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
 from repro.core.recovery import PruningGuard
 
-__all__ = ["PruningResult", "build_leaf_clvs", "prune_site_class"]
+__all__ = ["PruningResult", "PruningState", "build_leaf_clvs", "prune_site_class"]
 
 #: Rescale a completed node's pattern column when its max falls below this.
 SCALE_THRESHOLD = 1e-70
@@ -62,22 +73,146 @@ def build_leaf_clvs(alignment: CodonAlignment) -> List[np.ndarray]:
     """Dense leaf CLV matrices, one ``(n_states, n_patterns)`` per taxon row.
 
     Exact states get an indicator column, missing cells all-ones, and
-    ambiguous cells the indicator of their compatible-state set.
+    ambiguous cells the indicator of their compatible-state set.  Exact
+    and missing columns are filled with one fancy-indexing pass per
+    taxon; only the (rare) ambiguous columns fall back to per-column
+    assignment from :attr:`CodonAlignment.ambiguity_sets`.
     """
     n_states = alignment.code.n_states
+    states = alignment.states
+    columns = np.arange(alignment.n_codons)
     clvs = []
     for row in range(alignment.n_taxa):
         clv = np.zeros((n_states, alignment.n_codons), order="F")
-        for col in range(alignment.n_codons):
-            state = int(alignment.states[row, col])
-            if state == MISSING:
-                clv[:, col] = 1.0
-            elif state == AMBIGUOUS:
-                clv[list(alignment.ambiguity_sets[(row, col)]), col] = 1.0
-            else:
-                clv[state, col] = 1.0
+        row_states = states[row]
+        exact = row_states >= 0
+        clv[row_states[exact], columns[exact]] = 1.0
+        clv[:, row_states == MISSING] = 1.0
+        for col in np.flatnonzero(row_states == AMBIGUOUS):
+            clv[list(alignment.ambiguity_sets[(row, int(col))]), col] = 1.0
         clvs.append(clv)
     return clvs
+
+
+@dataclass
+class PruningState:
+    """Persistent per-class buffers for incremental re-pruning.
+
+    Stored arrays are treated as **immutable** once written: an
+    incremental pass that recomputes a node always allocates fresh
+    arrays, so states derived via :meth:`derive` (cross-class aliasing,
+    speculative gradient probes) can safely share buffers with their
+    base state.
+
+    ``children`` (each node's child list in branch-table row order) and
+    ``completion_order`` (the order internal nodes complete in a
+    post-order pass) are static given the branch table; recording them
+    lets the incremental pass rebuild a node's CLV with the exact
+    multiplication order of a full pass and re-sum the per-node rescale
+    vectors in the exact float addition order — the two invariants that
+    make incremental results bit-identical to full re-pruning.
+    """
+
+    n_nodes: int
+    #: Per-node CLV after rescaling (leaves alias their leaf CLVs).
+    clvs: List[Optional[np.ndarray]] = field(default_factory=list)
+    #: Per-child-node propagated contribution along the branch above it.
+    contributions: List[Optional[np.ndarray]] = field(default_factory=list)
+    #: Per-node log rescale vector; ``None`` = no rescaling fired there.
+    scalers: List[Optional[np.ndarray]] = field(default_factory=list)
+    #: Per-node children in branch-table row order (static).
+    children: List[List[int]] = field(default_factory=list)
+    #: Internal nodes in the order a post-order pass completes them.
+    completion_order: List[int] = field(default_factory=list)
+    root_index: int = -1
+    #: True once a populating pass has filled every buffer.
+    ready: bool = False
+
+    @classmethod
+    def empty(cls, n_nodes: int) -> "PruningState":
+        return cls(
+            n_nodes=n_nodes,
+            clvs=[None] * n_nodes,
+            contributions=[None] * n_nodes,
+            scalers=[None] * n_nodes,
+            children=[[] for _ in range(n_nodes)],
+        )
+
+    def derive(self) -> "PruningState":
+        """A shallow copy sharing all arrays — mutate lists, not buffers."""
+        return PruningState(
+            n_nodes=self.n_nodes,
+            clvs=list(self.clvs),
+            contributions=list(self.contributions),
+            scalers=list(self.scalers),
+            children=self.children,
+            completion_order=self.completion_order,
+            root_index=self.root_index,
+            ready=self.ready,
+        )
+
+    def total_log_scalers(self, n_patterns: int) -> np.ndarray:
+        """Sum per-node rescale vectors in completion order.
+
+        A full pass adds each firing node's vector into a zero
+        accumulator as the node completes; iterating
+        ``completion_order`` replays those additions operand-for-operand,
+        so the float result is identical.
+        """
+        total = np.zeros(n_patterns)
+        for node in self.completion_order:
+            vec = self.scalers[node]
+            if vec is not None:
+                total += vec
+        return total
+
+
+def _complete_node(
+    node_clv: np.ndarray,
+    parent: int,
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+) -> Optional[np.ndarray]:
+    """Guard-check and rescale a completed node's CLV in place.
+
+    Returns the per-pattern log rescale vector when rescaling fired,
+    else ``None``.  Shared by the full, populating and incremental
+    passes so the arithmetic (and the guard semantics) cannot diverge.
+    """
+    col_max = node_clv.max(axis=0)
+    if guard is not None:
+        # NaN propagates through max(); +inf survives it too, so one
+        # O(n_patterns) pass over the column maxima catches both
+        # non-finite modes at the node where they appear.
+        bad = ~np.isfinite(col_max)
+        if bad.any():
+            patterns = np.flatnonzero(bad)
+            raise guard.fail(
+                "clv_nonfinite",
+                f"non-finite CLV at node {parent} in "
+                f"{patterns.shape[0]} pattern column(s)",
+                node=int(parent),
+                patterns=str([int(i) for i in patterns[:8]]),
+            )
+    needs = col_max < scale_threshold
+    if not needs.any():
+        return None
+    if guard is not None:
+        zero = needs & (col_max <= 0.0)
+        if zero.any():
+            patterns = np.flatnonzero(zero)
+            raise guard.fail(
+                "clv_zero_column",
+                f"pattern column(s) went entirely zero at node "
+                f"{parent} — underflow past rescue or data "
+                f"impossible under the current parameters",
+                node=int(parent),
+                patterns=str([int(i) for i in patterns[:8]]),
+            )
+    safe = np.where(needs & (col_max > 0.0), col_max, 1.0)
+    node_clv /= safe[None, :]
+    with np.errstate(divide="ignore"):
+        return np.where(safe != 1.0, np.log(safe), 0.0)
 
 
 def prune_site_class(
@@ -88,6 +223,9 @@ def prune_site_class(
     propagate: Propagator,
     scale_threshold: float = SCALE_THRESHOLD,
     guard: Optional[PruningGuard] = None,
+    state: Optional[PruningState] = None,
+    dirty: Optional[Set[int]] = None,
+    on_reuse: Optional[Callable[[np.ndarray], None]] = None,
 ) -> PruningResult:
     """One post-order pruning pass for a single site class.
 
@@ -114,6 +252,20 @@ def prune_site_class(
         :class:`~repro.core.recovery.NumericalError` naming the node and
         the offending pattern indices.  ``None`` (default) preserves the
         historical unguarded behaviour bit-for-bit.
+    state:
+        Optional :class:`PruningState` enabling persistent-buffer mode.
+        An unready state is populated by a full pass; a ready state is
+        updated incrementally.  ``None`` (default) is the historical
+        stateless pass, bit-for-bit.
+    dirty:
+        With a ready ``state``: the child-node indices of branches whose
+        operator (length or rate parameters) changed since the state was
+        filled.  Only CLVs on the paths from these branches to the root
+        are recomputed.  ``None`` means every branch is dirty.
+    on_reuse:
+        With a ready ``state``: called once per branch application served
+        from the buffers instead of recomputed (receives the cached
+        contribution, for saved-work accounting).
 
     Returns
     -------
@@ -122,6 +274,17 @@ def prune_site_class(
     if not branch_table:
         raise ValueError("cannot prune an empty branch table")
     n_patterns = leaf_clvs[0].shape[1]
+
+    if state is not None:
+        if state.ready:
+            return _prune_incremental(
+                branch_table, state, transition_factory, propagate,
+                scale_threshold, guard, dirty, on_reuse, n_patterns,
+            )
+        return _prune_populate(
+            branch_table, n_nodes, leaf_clvs, transition_factory, propagate,
+            scale_threshold, guard, state, n_patterns,
+        )
 
     clvs: List[np.ndarray | None] = [None] * n_nodes
     n_leaves = len(leaf_clvs)
@@ -147,40 +310,9 @@ def prune_site_class(
         pending_children[parent] -= 1
         if pending_children[parent] == 0:
             # Node complete: rescale underflowing pattern columns.
-            node_clv = clvs[parent]
-            col_max = node_clv.max(axis=0)
-            if guard is not None:
-                # NaN propagates through max(); +inf survives it too, so
-                # one O(n_patterns) pass over the column maxima catches
-                # both non-finite modes at the node where they appear.
-                bad = ~np.isfinite(col_max)
-                if bad.any():
-                    patterns = np.flatnonzero(bad)
-                    raise guard.fail(
-                        "clv_nonfinite",
-                        f"non-finite CLV at node {parent} in "
-                        f"{patterns.shape[0]} pattern column(s)",
-                        node=int(parent),
-                        patterns=str([int(i) for i in patterns[:8]]),
-                    )
-            needs = col_max < scale_threshold
-            if needs.any():
-                if guard is not None:
-                    zero = needs & (col_max <= 0.0)
-                    if zero.any():
-                        patterns = np.flatnonzero(zero)
-                        raise guard.fail(
-                            "clv_zero_column",
-                            f"pattern column(s) went entirely zero at node "
-                            f"{parent} — underflow past rescue or data "
-                            f"impossible under the current parameters",
-                            node=int(parent),
-                            patterns=str([int(i) for i in patterns[:8]]),
-                        )
-                safe = np.where(needs & (col_max > 0.0), col_max, 1.0)
-                node_clv /= safe[None, :]
-                with np.errstate(divide="ignore"):
-                    log_scalers += np.where(safe != 1.0, np.log(safe), 0.0)
+            vec = _complete_node(clvs[parent], parent, scale_threshold, guard)
+            if vec is not None:
+                log_scalers += vec
         root_index = parent
 
     # The final completed parent of a post-ordered table is the root.
@@ -189,3 +321,117 @@ def prune_site_class(
     root_clv = clvs[root_index]
     assert root_clv is not None
     return PruningResult(root_clv=root_clv, log_scalers=log_scalers)
+
+
+def _prune_populate(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    n_nodes: int,
+    leaf_clvs: Sequence[np.ndarray],
+    transition_factory: TransitionFactory,
+    propagate: Propagator,
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+    state: PruningState,
+    n_patterns: int,
+) -> PruningResult:
+    """Full pass that also fills a :class:`PruningState`.
+
+    Identical arithmetic to the stateless pass with one value-preserving
+    difference: a parent CLV starts as a *copy* of its first child's
+    contribution (the stateless pass aliases and mutates it), so stored
+    contributions stay immutable for later incremental reuse.
+    """
+    for i in range(len(leaf_clvs)):
+        state.clvs[i] = leaf_clvs[i]
+
+    pending_children = np.zeros(n_nodes, dtype=np.intp)
+    for _, parent, _, _ in branch_table:
+        pending_children[parent] += 1
+
+    root_index = -1
+    for child, parent, t, foreground in branch_table:
+        child_clv = state.clvs[child]
+        if child_clv is None:
+            raise ValueError(f"branch table is not post-ordered: node {child} unset")
+        operator = transition_factory(t, foreground)
+        contribution = propagate(operator, child_clv)
+        state.contributions[child] = contribution
+        state.children[parent].append(child)
+        if state.clvs[parent] is None:
+            # order="K" keeps the contribution's memory layout: the
+            # stateless pass *aliases* this array, and downstream engine
+            # kernels round differently on C- vs F-ordered operands.
+            state.clvs[parent] = contribution.copy(order="K")
+        else:
+            state.clvs[parent] *= contribution
+        pending_children[parent] -= 1
+        if pending_children[parent] == 0:
+            state.scalers[parent] = _complete_node(
+                state.clvs[parent], parent, scale_threshold, guard
+            )
+            state.completion_order.append(parent)
+        root_index = parent
+
+    if pending_children.max() != 0:
+        raise ValueError("branch table did not complete every internal node")
+    state.root_index = root_index
+    state.ready = True
+    root_clv = state.clvs[root_index]
+    assert root_clv is not None
+    return PruningResult(
+        root_clv=root_clv, log_scalers=state.total_log_scalers(n_patterns)
+    )
+
+
+def _prune_incremental(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    state: PruningState,
+    transition_factory: TransitionFactory,
+    propagate: Propagator,
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+    dirty: Optional[Set[int]],
+    on_reuse: Optional[Callable[[np.ndarray], None]],
+    n_patterns: int,
+) -> PruningResult:
+    """Dirty-path pass over a ready :class:`PruningState`.
+
+    A branch's contribution is recomputed iff the branch itself is dirty
+    or its child's CLV changed; a node's CLV is rebuilt iff any incoming
+    contribution changed, multiplying the stored contributions in
+    branch-table row order (fresh arrays — shared buffers are never
+    mutated).  Clean nodes keep their CLVs *and* their per-node rescale
+    vectors, and the result's total scalers are re-summed in completion
+    order, so the output is bit-identical to a full pass.
+    """
+    n_nodes = state.n_nodes
+    dirty_children = dirty if dirty is not None else {c for c, _, _, _ in branch_table}
+    changed = bytearray(n_nodes)
+
+    pending_children = np.zeros(n_nodes, dtype=np.intp)
+    for _, parent, _, _ in branch_table:
+        pending_children[parent] += 1
+
+    for child, parent, t, foreground in branch_table:
+        if child in dirty_children or changed[child]:
+            operator = transition_factory(t, foreground)
+            state.contributions[child] = propagate(operator, state.clvs[child])
+            changed[parent] = 1
+        elif on_reuse is not None:
+            on_reuse(state.contributions[child])
+        pending_children[parent] -= 1
+        if pending_children[parent] == 0 and changed[parent]:
+            kids = state.children[parent]
+            node_clv = state.contributions[kids[0]].copy(order="K")
+            for kid in kids[1:]:
+                node_clv *= state.contributions[kid]
+            state.clvs[parent] = node_clv
+            state.scalers[parent] = _complete_node(
+                node_clv, parent, scale_threshold, guard
+            )
+
+    root_clv = state.clvs[state.root_index]
+    assert root_clv is not None
+    return PruningResult(
+        root_clv=root_clv, log_scalers=state.total_log_scalers(n_patterns)
+    )

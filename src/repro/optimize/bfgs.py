@@ -22,7 +22,7 @@ Implementation notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -71,19 +71,33 @@ class OptimizeResult:
 
 
 def finite_difference_gradient(
-    fun: Callable[[np.ndarray], float],
+    fun: Callable[..., float],
     x: np.ndarray,
     f0: float,
     relative_step: float = 1e-6,
+    touched: Optional[Sequence[object]] = None,
 ) -> np.ndarray:
-    """Forward-difference gradient with per-coordinate relative steps."""
+    """Forward-difference gradient with per-coordinate relative steps.
+
+    ``touched`` optionally supplies one structure hint per coordinate
+    (e.g. which branch a coordinate moves); the probe for coordinate
+    ``i`` is then issued as ``fun(probe, touched[i])`` so an incremental
+    likelihood can re-prune only that coordinate's dirty path and treat
+    the probe as transient.  Without hints every probe is the plain
+    ``fun(probe)`` of the historical code.
+    """
     n = x.shape[0]
+    if touched is not None and len(touched) != n:
+        raise ValueError(
+            f"touched hints must match the coordinate count: {len(touched)} != {n}"
+        )
     grad = np.empty(n)
     for i in range(n):
         h = relative_step * (abs(x[i]) + 1.0)
         probe = x.copy()
         probe[i] += h
-        slope = (fun(probe) - f0) / h
+        fi = fun(probe) if touched is None else fun(probe, touched[i])
+        slope = (fi - f0) / h
         if not np.isfinite(slope):
             # Probe hit an infinite barrier (parameter wall): represent
             # it as a steep finite uphill slope so the direction update
@@ -94,13 +108,14 @@ def finite_difference_gradient(
 
 
 def minimize_bfgs(
-    fun: Callable[[np.ndarray], float],
+    fun: Callable[..., float],
     x0: np.ndarray,
     gtol: float = 1e-4,
     ftol: float = 1e-9,
     max_iterations: int = 200,
     relative_step: float = 1e-6,
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+    coordinate_touched: Optional[Sequence[object]] = None,
 ) -> OptimizeResult:
     """Minimise ``fun`` from ``x0`` with BFGS and numeric gradients.
 
@@ -117,6 +132,11 @@ def minimize_bfgs(
         on equal work.
     callback:
         Called as ``callback(iteration, x, f)`` after each accepted step.
+    coordinate_touched:
+        Optional per-coordinate structure hints forwarded to
+        :func:`finite_difference_gradient`; when given, ``fun`` must also
+        accept ``fun(x, hint)`` for gradient probes.  Line-search
+        evaluations always call the plain ``fun(x)``.
 
     Returns
     -------
@@ -130,17 +150,17 @@ def minimize_bfgs(
     n = x.shape[0]
     evaluations = 0
 
-    def f(z: np.ndarray) -> float:
+    def f(z: np.ndarray, *hint: object) -> float:
         nonlocal evaluations
         evaluations += 1
         # Any non-finite value (NaN, ±inf) becomes a +inf barrier so the
         # line search backs off uniformly.
-        return _barrier(float(fun(z)))
+        return _barrier(float(fun(z, *hint)))
 
     fx = f(x)
     if not np.isfinite(fx):
         raise ValueError("objective is not finite at the start point")
-    grad = finite_difference_gradient(f, x, fx, relative_step)
+    grad = finite_difference_gradient(f, x, fx, relative_step, touched=coordinate_touched)
     h_inv = np.eye(n)
     history: List[float] = [fx]
     message = "maximum iterations reached"
@@ -187,7 +207,9 @@ def minimize_bfgs(
             iteration -= 1
             break
 
-        grad_new = finite_difference_gradient(f, x_new, fx_new, relative_step)
+        grad_new = finite_difference_gradient(
+            f, x_new, fx_new, relative_step, touched=coordinate_touched
+        )
         s = x_new - x
         y = grad_new - grad
         sy = float(s @ y)

@@ -158,6 +158,7 @@ def fit_model(
     callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
     fixed_params: Optional[set] = None,
     recovery: Optional[RecoveryPolicy] = None,
+    incremental: Optional[bool] = None,
 ) -> FitResult:
     """Maximise the likelihood of ``bound``'s model.
 
@@ -197,12 +198,22 @@ def fit_model(
         optimum across attempts is kept and every trigger lands on
         ``FitResult.diagnostics``.  ``None`` (default) reproduces the
         historical single-attempt behaviour bit-for-bit.
+    incremental:
+        ``True``/``False`` overrides the binding's incremental-evaluation
+        setting for this fit (flipping it drops any cached CLV state);
+        ``None`` (default) respects how the problem was bound.  With
+        incremental evaluation on and ``method="bfgs"``, gradient probes
+        carry per-coordinate structure hints so a branch-length probe
+        re-prunes only that branch's root path; model-parameter probes
+        invalidate everything, so results stay bit-identical.
 
     Returns
     -------
     FitResult
     """
     model = bound.model
+    if incremental is not None and bool(incremental) != getattr(bound, "incremental", False):
+        bound.set_incremental(incremental)
     rng = make_rng(seed)
     if start_values is None:
         start_values = model.default_start(rng)
@@ -237,14 +248,30 @@ def fit_model(
         full[~frozen_idx] = x_free
         return full
 
-    def objective(x_free: np.ndarray) -> float:
+    def objective(x_free: np.ndarray, touched: object = None) -> float:
         values, lengths = _unpack_full(
             model, _expand(x_free), fixed_lengths, optimize_branch_lengths
         )
         try:
-            return -bound.log_likelihood(values, lengths)
+            # Only forward the hint when one was issued: duck-typed bound
+            # stand-ins (test seams) need not grow the ``touched`` kwarg.
+            if touched is None:
+                return -bound.log_likelihood(values, lengths)
+            return -bound.log_likelihood(values, lengths, touched=touched)
         except (ValueError, FloatingPointError):
             return np.inf
+
+    # Structure hints for gradient probes: with an incremental binding,
+    # each free branch-length coordinate maps to its branch-table row so
+    # a probe re-prunes one root path; model-parameter coordinates get
+    # the "model" sentinel (full invalidation — operators change).
+    coordinate_touched = None
+    if method == "bfgs" and getattr(bound, "incremental", False):
+        k = model.n_params
+        coordinate_touched = [
+            "model" if pos < k or not optimize_branch_lengths else (int(pos) - k,)
+            for pos in np.flatnonzero(~frozen_idx)
+        ]
 
     def _minimize(x_start: np.ndarray) -> OptimizeResult:
         if method == "bfgs":
@@ -255,6 +282,7 @@ def fit_model(
                 ftol=ftol,
                 max_iterations=max_iterations,
                 callback=callback,
+                coordinate_touched=coordinate_touched,
             )
         if method == "lbfgsb":
             res = scipy.optimize.minimize(

@@ -102,6 +102,9 @@ class GeneResult:
     #: flags prefixed ``h0:``/``h1:``.  ``None`` = clean fit or recovery
     #: disabled — nothing fired.
     diagnostics: Optional[Dict] = None
+    #: Incremental-evaluation counters (``{"propagations": n, "reuses": m}``)
+    #: when the worker ran with dirty-path CLV caching; ``None`` otherwise.
+    clv_stats: Optional[Dict[str, int]] = None
 
     @property
     def failed(self) -> bool:
@@ -151,25 +154,34 @@ def _run_gene(args: Tuple) -> GeneResult:
     """Worker entry point (module-level so it pickles).
 
     The payload is ``(job, engine_name, seed, max_iterations)`` with an
-    optional fifth ``recover`` flag (older 4-tuples keep working — the
-    journal-resume and custom-worker seams rely on that).
+    optional fifth ``recover`` flag and an optional sixth ``incremental``
+    flag (older 4-/5-tuples keep working — the journal-resume and
+    custom-worker seams rely on that).
 
     Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
     owns error capture, classification and retries.
     """
     job, engine_name, seed, max_iterations = args[:4]
     recover = bool(args[4]) if len(args) > 4 else False
+    incremental = bool(args[5]) if len(args) > 5 else False
     tree = parse_newick(job.newick)
     alignment = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
     engine = make_engine(
         engine_name, recovery=RecoveryConfig() if recover else None
     )
     test = fit_branch_site_test(
-        lambda model: engine.bind(tree, alignment, model),
+        lambda model: engine.bind(tree, alignment, model, incremental=incremental),
         seed=seed,
         max_iterations=max_iterations,
         recovery=RecoveryPolicy() if recover else None,
     )
+    clv_stats = None
+    if incremental:
+        stats = engine.cache_stats()
+        clv_stats = {
+            "propagations": int(stats["clv_propagations"]),
+            "reuses": int(stats["clv_reuses"]),
+        }
     return GeneResult(
         gene_id=job.gene_id,
         lnl0=test.h0.lnl,
@@ -180,6 +192,7 @@ def _run_gene(args: Tuple) -> GeneResult:
         runtime_seconds=test.combined_runtime,
         n_evaluations=test.combined_evaluations,
         diagnostics=_combine_diagnostics(test.h0.diagnostics, test.h1.diagnostics),
+        clv_stats=clv_stats,
     )
 
 
@@ -196,6 +209,7 @@ def analyze_genes(
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
     executor: Optional[Executor] = None,
     recover: bool = False,
+    incremental: bool = False,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -237,6 +251,13 @@ def analyze_genes(
         per :class:`~repro.core.recovery.RecoveryPolicy`; whatever fired
         rides back on ``GeneResult.diagnostics``.  Off by default —
         results are then bit-identical to the unguarded code.
+    incremental:
+        Enable dirty-path CLV caching in each worker
+        (:meth:`LikelihoodEngine.bind` with ``incremental=True``): BFGS
+        gradient probes re-prune only the probed branch's root path and
+        model-A classes share background subtrees.  Bit-identical to the
+        full re-pruning path; the reuse counters ride back on
+        ``GeneResult.clv_stats``.
 
     Returns
     -------
@@ -258,10 +279,15 @@ def analyze_genes(
         if job.gene_id in done:
             results[k] = done[job.gene_id]
         else:
-            base = (job, engine, seed + k, max_iterations)
-            # Keep the historical 4-tuple when recovery is off so custom
-            # workers written against it never see a surprise element.
-            payloads.append(base + (True,) if recover else base)
+            base: Tuple = (job, engine, seed + k, max_iterations)
+            # Keep the historical 4-tuple when neither flag is set so
+            # custom workers written against it never see a surprise
+            # element; ``incremental`` rides sixth, after ``recover``.
+            if recover or incremental:
+                base = base + (recover,)
+            if incremental:
+                base = base + (True,)
+            payloads.append(base)
             payload_jobs.append(k)
 
     sink = ResultJournal(journal) if journal is not None else None
@@ -377,6 +403,7 @@ def scan_branches(
     on_result: Optional[Callable[[int, GeneResult], None]] = None,
     executor: Optional[Executor] = None,
     recover: bool = False,
+    incremental: bool = False,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -408,6 +435,7 @@ def scan_branches(
         on_result=on_result,
         executor=executor,
         recover=recover,
+        incremental=incremental,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

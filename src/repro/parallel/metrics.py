@@ -55,6 +55,10 @@ class BatchSummary:
     total_restarts: int = 0
     #: Numerical event kind → occurrence count across all tasks.
     events_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Branch applications actually recomputed by incremental workers.
+    total_clv_propagations: int = 0
+    #: Branch applications served from incremental CLV state instead.
+    total_clv_reuses: int = 0
 
     @property
     def n_resumed(self) -> int:
@@ -79,6 +83,10 @@ class BatchSummary:
             for event in diagnostics.get("events", []):
                 kind = event.get("kind", "unknown")
                 self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+        clv_stats = getattr(result, "clv_stats", None)
+        if clv_stats:
+            self.total_clv_propagations += int(clv_stats.get("propagations", 0))
+            self.total_clv_reuses += int(clv_stats.get("reuses", 0))
         if result.failed:
             self.n_failed += 1
             kind = result.failure.kind if result.failure is not None else "error"
@@ -113,6 +121,13 @@ class BatchSummary:
             f"{self.total_iterations} optimizer iterations, "
             f"{self.total_evaluations} likelihood evaluations"
         )
+        applications = self.total_clv_propagations + self.total_clv_reuses
+        if applications:
+            pct = 100.0 * self.total_clv_reuses / applications
+            lines.append(
+                f"clv reuse  : {self.total_clv_reuses} of {applications} "
+                f"branch applications served from cache ({pct:.1f}%)"
+            )
         if self.n_recovered:
             line = (
                 f"numerics   : {self.n_recovered} "

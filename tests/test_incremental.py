@@ -1,0 +1,403 @@
+"""Incremental likelihood evaluation: bit-identity and reuse accounting.
+
+The dirty-path CLV cache and the cross-class subtree sharing promise
+*exact* float equality with full re-pruning (DESIGN.md §9) — not
+closeness.  Every comparison here is ``==`` / ``array_equal``; a single
+ulp of drift is a failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
+from repro.alignment.patterns import compress_patterns
+from repro.codon.matrix import build_rate_matrix
+from repro.core.eigen import decompose
+from repro.core.engine import make_engine
+from repro.core.expm import transition_matrix_syrk
+from repro.core.recovery import RecoveryConfig, RecoveryPolicy
+from repro.likelihood.pruning import PruningState, build_leaf_clvs, prune_site_class
+from repro.optimize.ml import fit_model
+from repro.trees.newick import parse_newick
+
+ENGINE_NAMES = ("codeml", "slim", "slim-v2")
+
+
+# ----------------------------------------------------------------------
+# Satellite: vectorised leaf-CLV construction
+# ----------------------------------------------------------------------
+class TestBuildLeafClvs:
+    def test_matches_per_cell_reference(self):
+        # Exact, missing and (partially) ambiguous cells in one alignment:
+        # ATR = {ATA, ATG}, TGR resolves to the single sense codon TGG.
+        aln = CodonAlignment.from_sequences(
+            ["a", "b", "c"],
+            ["ATGATR---", "---TGRAAA", "CCCATGTTT"],
+        )
+        assert np.any(aln.states == MISSING) and np.any(aln.states == AMBIGUOUS)
+        clvs = build_leaf_clvs(aln)
+        for row in range(aln.n_taxa):
+            for col in range(aln.n_codons):
+                np.testing.assert_array_equal(
+                    clvs[row][:, col], aln.leaf_clv(row, col)
+                )
+
+    def test_fortran_order_preserved(self):
+        aln = CodonAlignment.from_sequences(["a", "b"], ["ATGTTT", "ATGCCC"])
+        for clv in build_leaf_clvs(aln):
+            assert clv.flags["F_CONTIGUOUS"]
+
+
+# ----------------------------------------------------------------------
+# Direct pruning-state tests (no engine layer)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def prune_setup():
+    rng = np.random.default_rng(2)
+    pi = rng.dirichlet(np.full(61, 8.0))
+    decomp = decompose(build_rate_matrix(2.0, 0.5, pi))
+    tree = parse_newick("((A:0.2,B:0.1):0.08,(C:0.15,D:0.12):0.05,E:0.3);")
+    aln = CodonAlignment.from_sequences(
+        ["A", "B", "C", "D", "E"],
+        ["ATGTTTAAA", "ATGCCCAAA", "CCCTTTAAA", "ATGTTTCCC", "ATGTTTAAA"],
+    )
+    pat = compress_patterns(aln.subset_taxa(tree.leaf_names()))
+    return pi, decomp, tree, build_leaf_clvs(pat.alignment)
+
+
+def _factory(decomp, lengths):
+    def factory(t, foreground):
+        return transition_matrix_syrk(decomp, t, clip_negative=False)
+
+    return factory
+
+
+class TestPruningState:
+    def test_populate_matches_stateless(self, prune_setup):
+        pi, decomp, tree, leaf_clvs = prune_setup
+        table = tree.branch_table()
+        factory = _factory(decomp, None)
+        full = prune_site_class(table, len(tree.nodes), leaf_clvs, factory, np.matmul)
+        state = PruningState.empty(len(tree.nodes))
+        pop = prune_site_class(
+            table, len(tree.nodes), leaf_clvs, factory, np.matmul, state=state
+        )
+        np.testing.assert_array_equal(full.root_clv, pop.root_clv)
+        np.testing.assert_array_equal(full.log_scalers, pop.log_scalers)
+        assert state.ready and state.root_index >= 0
+
+    def test_single_branch_update_recomputes_only_root_path(self, prune_setup):
+        pi, decomp, tree, leaf_clvs = prune_setup
+        table = list(tree.branch_table())
+        n_nodes = len(tree.nodes)
+
+        calls = []
+
+        def propagate(op, clv):
+            calls.append(1)
+            return op @ clv
+
+        factory = _factory(decomp, None)
+        state = PruningState.empty(n_nodes)
+        prune_site_class(table, n_nodes, leaf_clvs, factory, propagate, state=state)
+        calls.clear()
+
+        # Change one leaf branch: only its path to the root re-propagates.
+        child, parent, t, fg = table[0]
+        table2 = [(c, p, t * 1.1 if c == child else bl, f) for c, p, bl, f in table]
+        inc = prune_site_class(
+            table2, n_nodes, leaf_clvs, factory, propagate,
+            state=state, dirty={child},
+        )
+        path = {child}
+        grew = True
+        parent_of = {c: p for c, p, _, _ in table2}
+        while grew:
+            grew = False
+            for c in list(path):
+                if c in parent_of and parent_of[c] not in path:
+                    # the parent's own branch (if any) re-propagates too
+                    if parent_of[c] in parent_of:
+                        path.add(parent_of[c])
+                        grew = True
+        assert len(calls) == len(path)
+
+        fresh = prune_site_class(table2, n_nodes, leaf_clvs, factory, np.matmul)
+        np.testing.assert_array_equal(fresh.root_clv, inc.root_clv)
+        np.testing.assert_array_equal(fresh.log_scalers, inc.log_scalers)
+
+    def test_incremental_with_rescaling(self, prune_setup):
+        pi, decomp, tree, leaf_clvs = prune_setup
+        table = list(tree.branch_table())
+        n_nodes = len(tree.nodes)
+        factory = _factory(decomp, None)
+        # Threshold high enough that every internal node rescales.
+        state = PruningState.empty(n_nodes)
+        prune_site_class(
+            table, n_nodes, leaf_clvs, factory, np.matmul,
+            scale_threshold=1.0, state=state,
+        )
+        child = table[0][0]
+        table2 = [(c, p, bl * (1.2 if c == child else 1.0), f) for c, p, bl, f in table]
+        inc = prune_site_class(
+            table2, n_nodes, leaf_clvs, factory, np.matmul,
+            scale_threshold=1.0, state=state, dirty={child},
+        )
+        fresh = prune_site_class(
+            table2, n_nodes, leaf_clvs, factory, np.matmul, scale_threshold=1.0
+        )
+        assert np.any(fresh.log_scalers != 0.0)
+        np.testing.assert_array_equal(fresh.root_clv, inc.root_clv)
+        np.testing.assert_array_equal(fresh.log_scalers, inc.log_scalers)
+
+    def test_derive_leaves_base_state_untouched(self, prune_setup):
+        pi, decomp, tree, leaf_clvs = prune_setup
+        table = list(tree.branch_table())
+        n_nodes = len(tree.nodes)
+        factory = _factory(decomp, None)
+        state = PruningState.empty(n_nodes)
+        prune_site_class(table, n_nodes, leaf_clvs, factory, np.matmul, state=state)
+        before = [None if c is None else c.copy() for c in state.clvs]
+
+        derived = state.derive()
+        child = table[0][0]
+        table2 = [(c, p, bl * 1.3 if c == child else bl, f) for c, p, bl, f in table]
+        prune_site_class(
+            table2, n_nodes, leaf_clvs, factory, np.matmul,
+            state=derived, dirty={child},
+        )
+        for old, cur in zip(before, state.clvs):
+            if old is not None:
+                np.testing.assert_array_equal(old, cur)
+
+
+# ----------------------------------------------------------------------
+# Property test: randomized update sequences through the engine layer
+# ----------------------------------------------------------------------
+def _update_sequence(lengths, values, rng, steps=8):
+    """Committed single-branch / multi-branch / model-param updates,
+    with a non-committing probe sprinkled in after every third step."""
+    seqs = [(dict(values), lengths.copy(), None)]
+    v, L = dict(values), lengths
+    for step in range(steps):
+        kind = int(rng.integers(0, 3))
+        L = L.copy()
+        if kind == 0:
+            L[int(rng.integers(0, len(L)))] *= 1.0 + 0.1 * rng.random()
+        elif kind == 1:
+            idx = rng.choice(len(L), size=2, replace=False)
+            L[idx] *= 0.95
+        else:
+            v = dict(v)
+            v["omega0"] = float(v["omega0"] * (1.0 + 0.05 * rng.random()))
+        seqs.append((dict(v), L.copy(), None))
+        if step % 3 == 1:
+            probe = L.copy()
+            probe[0] += 1e-6
+            seqs.append((dict(v), probe, (0,)))
+    return seqs
+
+
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+@pytest.mark.parametrize("recover", [False, True], ids=["plain", "recover"])
+class TestEngineBitIdentity:
+    def test_randomized_updates_bit_identical(
+        self, engine_name, recover, small_tree, small_sim, h1_model, bsm_values
+    ):
+        kwargs = {"recovery": RecoveryConfig()} if recover else {}
+        eng_full = make_engine(engine_name, **kwargs)
+        eng_inc = make_engine(engine_name, **kwargs)
+        b_full = eng_full.bind(small_tree, small_sim.alignment, h1_model)
+        b_inc = eng_inc.bind(
+            small_tree, small_sim.alignment, h1_model, incremental=True
+        )
+        lengths = np.asarray(b_full.branch_lengths, dtype=float)
+        rng = np.random.default_rng(11)
+        for values, L, touched in _update_sequence(lengths, bsm_values, rng):
+            a = b_full.log_likelihood(values, L)
+            if touched is None:
+                b = b_inc.log_likelihood(values, L)
+            else:
+                b = b_inc.log_likelihood(values, L, touched=touched)
+            assert a == b  # exact float equality, not approx
+        assert eng_inc.clv_reuses > 0
+        assert eng_inc.clv_propagations < eng_full.clv_propagations
+
+    def test_site_class_matrix_bit_identical(
+        self, engine_name, recover, small_tree, small_sim, h0_model, bsm_values
+    ):
+        kwargs = {"recovery": RecoveryConfig()} if recover else {}
+        eng_full = make_engine(engine_name, **kwargs)
+        eng_inc = make_engine(engine_name, **kwargs)
+        b_full = eng_full.bind(small_tree, small_sim.alignment, h0_model)
+        b_inc = eng_inc.bind(
+            small_tree, small_sim.alignment, h0_model, incremental=True
+        )
+        values = {k: v for k, v in bsm_values.items() if k != "omega2"}
+        lengths = np.asarray(b_full.branch_lengths, dtype=float)
+        b_full.log_likelihood(values, lengths)
+        b_inc.log_likelihood(values, lengths)
+        bumped = lengths.copy()
+        bumped[1] *= 1.07
+        m_full, p_full = b_full.site_class_matrix(values, bumped)
+        m_inc, p_inc = b_inc.site_class_matrix(values, bumped)
+        np.testing.assert_array_equal(m_full, m_inc)
+        np.testing.assert_array_equal(p_full, p_inc)
+
+
+class TestEngineSemantics:
+    def test_touched_requires_incremental_binding(
+        self, small_tree, small_sim, h1_model, bsm_values
+    ):
+        bound = make_engine("slim").bind(small_tree, small_sim.alignment, h1_model)
+        with pytest.raises(ValueError, match="incremental"):
+            bound.log_likelihood(
+                bsm_values, bound.branch_lengths, touched=(0,)
+            )
+
+    def test_probe_does_not_commit(self, small_tree, small_sim, h1_model, bsm_values):
+        engine = make_engine("slim")
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+        lengths = np.asarray(bound.branch_lengths, dtype=float)
+        base = bound.log_likelihood(bsm_values, lengths)
+        probe = lengths.copy()
+        probe[2] += 1e-6
+        bound.log_likelihood(bsm_values, probe, touched=(2,))
+        # Re-evaluating the committed point must be a pure cache hit: the
+        # probe did not advance the durable state.
+        before = engine.clv_propagations
+        again = bound.log_likelihood(bsm_values, lengths)
+        assert again == base
+        assert engine.clv_propagations == before
+
+    def test_set_incremental_toggles_and_invalidates(
+        self, small_tree, small_sim, h1_model, bsm_values
+    ):
+        engine = make_engine("slim")
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+        lengths = np.asarray(bound.branch_lengths, dtype=float)
+        a = bound.log_likelihood(bsm_values, lengths)
+        bound.set_incremental(False)
+        assert bound._inc_values is None
+        b = bound.log_likelihood(bsm_values, lengths)
+        assert a == b
+        bound.set_incremental(True)
+        assert a == bound.log_likelihood(bsm_values, lengths)
+
+    def test_cache_stats_exposes_clv_counters(
+        self, small_tree, small_sim, h1_model, bsm_values
+    ):
+        engine = make_engine("slim")
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+        lengths = np.asarray(bound.branch_lengths, dtype=float)
+        bound.log_likelihood(bsm_values, lengths)
+        bumped = lengths.copy()
+        bumped[0] *= 1.01
+        bound.log_likelihood(bsm_values, bumped)
+        stats = engine.cache_stats()
+        assert stats["clv_propagations"] > 0
+        assert stats["clv_reuses"] > 0
+
+    def test_flop_counter_ledgers_saved_work(
+        self, small_tree, small_sim, h1_model, bsm_values
+    ):
+        from repro.core.flops import FlopCounter
+
+        engine = make_engine("slim", counter=FlopCounter())
+        bound = engine.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+        lengths = np.asarray(bound.branch_lengths, dtype=float)
+        bound.log_likelihood(bsm_values, lengths)
+        bumped = lengths.copy()
+        bumped[0] *= 1.01
+        bound.log_likelihood(bsm_values, bumped)
+        assert engine.counter.total_saved_flops > 0
+        assert "saved by reuse" in engine.counter.summary()
+
+
+# ----------------------------------------------------------------------
+# fit_model: hinted gradients, identical optimum, fewer propagations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+def test_fit_model_incremental_identical_and_cheaper(
+    engine_name, small_tree, small_sim, h1_model
+):
+    eng_full = make_engine(engine_name)
+    eng_inc = make_engine(engine_name)
+    b_full = eng_full.bind(small_tree, small_sim.alignment, h1_model)
+    b_inc = eng_inc.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+    fit_full = fit_model(b_full, seed=1, max_iterations=6)
+    fit_inc = fit_model(b_inc, seed=1, max_iterations=6)
+    assert fit_full.lnl == fit_inc.lnl
+    assert fit_full.n_evaluations == fit_inc.n_evaluations
+    np.testing.assert_array_equal(fit_full.branch_lengths, fit_inc.branch_lengths)
+    assert fit_full.values == fit_inc.values
+    # The point of the exercise: markedly fewer branch propagations.
+    assert eng_inc.clv_propagations * 2 <= eng_full.clv_propagations
+
+
+def test_fit_model_incremental_override_toggles_binding(
+    small_tree, small_sim, h1_model
+):
+    engine = make_engine("slim")
+    bound = engine.bind(small_tree, small_sim.alignment, h1_model)
+    assert not bound.incremental
+    fit = fit_model(bound, seed=1, max_iterations=3, incremental=True)
+    assert bound.incremental
+    reference = fit_model(
+        make_engine("slim").bind(small_tree, small_sim.alignment, h1_model),
+        seed=1,
+        max_iterations=3,
+    )
+    assert fit.lnl == reference.lnl
+
+
+def test_fit_model_incremental_with_recovery(small_tree, small_sim, h1_model):
+    eng_full = make_engine("slim", recovery=RecoveryConfig())
+    eng_inc = make_engine("slim", recovery=RecoveryConfig())
+    b_full = eng_full.bind(small_tree, small_sim.alignment, h1_model)
+    b_inc = eng_inc.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+    fit_full = fit_model(b_full, seed=3, max_iterations=5, recovery=RecoveryPolicy())
+    fit_inc = fit_model(b_inc, seed=3, max_iterations=5, recovery=RecoveryPolicy())
+    assert fit_full.lnl == fit_inc.lnl
+    assert fit_full.n_evaluations == fit_inc.n_evaluations
+
+
+# ----------------------------------------------------------------------
+# Batch layer: payloads, stats round-trip, summary line
+# ----------------------------------------------------------------------
+class TestBatchIntegration:
+    def test_analyze_genes_reports_clv_stats(self, small_tree, small_sim):
+        from repro.parallel.batch import GeneJob, analyze_genes
+        from repro.parallel.metrics import summarize_results
+
+        job = GeneJob.from_objects("g1", small_tree, small_sim.alignment)
+        [plain] = analyze_genes([job], processes=1, max_iterations=3)
+        [inc] = analyze_genes([job], processes=1, max_iterations=3, incremental=True)
+        assert plain.clv_stats is None
+        assert inc.clv_stats is not None and inc.clv_stats["reuses"] > 0
+        assert inc.lnl0 == plain.lnl0 and inc.lnl1 == plain.lnl1
+
+        summary = summarize_results([inc])
+        assert summary.total_clv_reuses == inc.clv_stats["reuses"]
+        assert "clv reuse" in summary.format()
+        assert "clv reuse" not in summarize_results([plain]).format()
+
+    def test_gene_result_clv_stats_roundtrip(self):
+        from repro.io.results_io import gene_result_from_dict, gene_result_to_dict
+        from repro.parallel.batch import GeneResult
+
+        result = GeneResult(
+            gene_id="g",
+            lnl0=-10.0,
+            lnl1=-9.0,
+            statistic=2.0,
+            pvalue=0.15,
+            iterations=4,
+            runtime_seconds=0.1,
+            clv_stats={"propagations": 12, "reuses": 30},
+        )
+        back = gene_result_from_dict(gene_result_to_dict(result))
+        assert back.clv_stats == {"propagations": 12, "reuses": 30}
+        assert gene_result_from_dict(
+            gene_result_to_dict(GeneResult("g", -1.0, -1.0, 0.0, 1.0, 1, 0.0))
+        ).clv_stats is None
