@@ -124,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
                      help="coordinator address (the scan's --bind)")
     wrk.add_argument("--name", default=None, help="worker identity in scan metrics")
+    wrk.add_argument("--idle-timeout", type=float, default=60.0,
+                     help="exit after this many seconds of coordinator "
+                          "silence (the coordinator pings every ~2s while "
+                          "idle; 0 waits forever)")
     wrk.add_argument("--max-tasks", type=int, default=None,
                      help="exit after this many tasks (default: serve until shutdown)")
 
@@ -334,7 +338,12 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             diag = FitDiagnostics.from_dict(res.diagnostics)
             lines.append(f"  {res.gene_id}: {diag.describe()}")
     lines.append("")
-    lines.append(scan.summary(wall_seconds=wall, resumed_ids=resumed).format())
+    summary = scan.summary(wall_seconds=wall, resumed_ids=resumed)
+    if executor is not None and hasattr(executor, "wire_stats"):
+        # Counters survive shutdown: report data-plane traffic (bytes per
+        # task vs the one-shot broadcast) alongside the compute metrics.
+        summary.wire = executor.wire_stats()
+    lines.append(summary.format())
     if args.journal:
         lines.append(f"journal    : {args.journal}"
                      + (" (resumed)" if args.resume else ""))
@@ -357,7 +366,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        done = run_worker(host, port, name=args.name, max_tasks=args.max_tasks)
+        done = run_worker(host, port, name=args.name, max_tasks=args.max_tasks,
+                          idle_timeout=args.idle_timeout)
     except (ConnectionError, OSError) as exc:
         print(f"error: cannot serve {args.connect}: {exc}", file=sys.stderr)
         return 1

@@ -42,8 +42,9 @@ SCHEMA_VERSION = 1
 #: headerless v1 journals from before this field existed — stay
 #: resumable.  Version 2 added the header itself and per-record worker
 #: identity; version 3 added per-gene numerical-recovery ``diagnostics``;
-#: version 4 added per-gene incremental-evaluation ``clv_stats``.
-JOURNAL_VERSION = 4
+#: version 4 added per-gene incremental-evaluation ``clv_stats``;
+#: version 5 added ``setup_seconds`` (broadcast-context cold start).
+JOURNAL_VERSION = 5
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -202,6 +203,7 @@ def gene_result_to_dict(result) -> Dict:
         "worker": getattr(result, "worker", None),
         "diagnostics": getattr(result, "diagnostics", None),
         "clv_stats": getattr(result, "clv_stats", None),
+        "setup_seconds": getattr(result, "setup_seconds", 0.0),
     })
 
 
@@ -241,6 +243,7 @@ def gene_result_from_dict(payload: Dict):
         worker=payload.get("worker"),
         diagnostics=payload.get("diagnostics"),
         clv_stats=payload.get("clv_stats"),
+        setup_seconds=float(payload.get("setup_seconds") or 0.0),
     )
 
 

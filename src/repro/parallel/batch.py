@@ -8,9 +8,16 @@ Two scan axes, both used by Selectome-style genome analyses (§I-A):
   foreground in turn ("done iteratively for each branch of a
   phylogenetic tree", §I-A).
 
-Tasks ship as plain strings (Newick + raw sequences) so they pickle
-cheaply; every task derives its own RNG stream from the master seed, so
-results are independent of scheduling order and worker count.
+Shared batch state rides the executors' broadcast channel: the
+coordinator deduplicates alignments and trees across jobs, compresses
+site patterns and estimates codon frequencies **once**, and ships the
+result to every worker one time per batch (socket broadcast frame /
+pool shared-memory segment).  Per-task payloads are then just
+``(gene_id, newick_idx, fg_node, aln_idx, seed)`` — integer indices
+into the broadcast state — so a branch scan over hundreds of
+candidates moves its alignment across the wire once, not per branch.
+Every task derives its own RNG stream from the master seed, so results
+are independent of scheduling order and worker count.
 
 Fault tolerance (gcodeml's lesson: at genome scale the binding
 constraint is fault handling, not kernels):
@@ -27,16 +34,22 @@ constraint is fault handling, not kernels):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.alignment.msa import CodonAlignment
+from repro.alignment.patterns import PatternAlignment, compress_patterns
+from repro.codon.frequencies import estimate_codon_frequencies
 from repro.core.engine import make_engine
 from repro.core.recovery import FitDiagnostics, RecoveryConfig, RecoveryPolicy
 from repro.io.results_io import ResultJournal
 from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
 from repro.parallel.executors.base import Executor
+from repro.parallel.executors.wire import register_struct
 from repro.parallel.faults import FaultPolicy, TaskFailure, TaskOutcome, run_tasks
 from repro.parallel.metrics import BatchSummary
 from repro.trees.newick import parse_newick, write_newick
@@ -52,25 +65,43 @@ __all__ = [
 ]
 
 
+@register_struct
 @dataclass(frozen=True)
 class GeneJob:
-    """One gene to analyse: pickle-friendly payload for a worker."""
+    """One gene to analyse: wire-friendly payload for a worker.
+
+    ``fg_node`` optionally names the node (by index in the parsed
+    ``newick``) whose parent branch the *worker* marks as foreground
+    before fitting — the seam that lets a branch scan ship one base
+    tree plus a per-task integer instead of one pre-marked Newick per
+    candidate branch.  ``None`` keeps the legacy contract: the Newick
+    already carries its marks.
+    """
 
     gene_id: str
     newick: str
     names: Tuple[str, ...]
     sequences: Tuple[str, ...]
+    fg_node: Optional[int] = None
 
     @classmethod
-    def from_objects(cls, gene_id: str, tree: Tree, alignment: CodonAlignment) -> "GeneJob":
+    def from_objects(
+        cls,
+        gene_id: str,
+        tree: Tree,
+        alignment: CodonAlignment,
+        fg_node: Optional[int] = None,
+    ) -> "GeneJob":
         return cls(
             gene_id=gene_id,
             newick=write_newick(tree),
             names=tuple(alignment.names),
             sequences=tuple(alignment.to_sequences()),
+            fg_node=fg_node,
         )
 
 
+@register_struct
 @dataclass
 class GeneResult:
     """Worker output for one gene (or one branch of a branch scan).
@@ -105,6 +136,12 @@ class GeneResult:
     #: Incremental-evaluation counters (``{"propagations": n, "reuses": m}``)
     #: when the worker ran with dirty-path CLV caching; ``None`` otherwise.
     clv_stats: Optional[Dict[str, int]] = None
+    #: Worker-side one-time setup charged to this task: seconds spent
+    #: materialising the broadcast context (alignment patterns, codon
+    #: frequencies) on a cache miss.  ``0.0`` on cache hits and on the
+    #: legacy per-task payload path — the batch summary aggregates this
+    #: as the fleet's cold-start cost.
+    setup_seconds: float = 0.0
 
     @property
     def failed(self) -> bool:
@@ -165,6 +202,8 @@ def _run_gene(args: Tuple) -> GeneResult:
     recover = bool(args[4]) if len(args) > 4 else False
     incremental = bool(args[5]) if len(args) > 5 else False
     tree = parse_newick(job.newick)
+    if getattr(job, "fg_node", None) is not None:
+        tree.mark_foreground(tree.nodes[job.fg_node])
     alignment = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
     engine = make_engine(
         engine_name, recovery=RecoveryConfig() if recover else None
@@ -175,6 +214,11 @@ def _run_gene(args: Tuple) -> GeneResult:
         max_iterations=max_iterations,
         recovery=RecoveryPolicy() if recover else None,
     )
+    return _assemble_result(job.gene_id, test, engine, incremental)
+
+
+def _assemble_result(gene_id: str, test, engine, incremental: bool,
+                     setup_seconds: float = 0.0) -> GeneResult:
     clv_stats = None
     if incremental:
         stats = engine.cache_stats()
@@ -183,7 +227,7 @@ def _run_gene(args: Tuple) -> GeneResult:
             "reuses": int(stats["clv_reuses"]),
         }
     return GeneResult(
-        gene_id=job.gene_id,
+        gene_id=gene_id,
         lnl0=test.h0.lnl,
         lnl1=test.h1.lnl,
         statistic=test.lrt.statistic,
@@ -193,7 +237,132 @@ def _run_gene(args: Tuple) -> GeneResult:
         n_evaluations=test.combined_evaluations,
         diagnostics=_combine_diagnostics(test.h0.diagnostics, test.h1.diagnostics),
         clv_stats=clv_stats,
+        setup_seconds=setup_seconds,
     )
+
+
+def _build_shared_context(
+    pending: Sequence["GeneJob"],
+    engine: str,
+    recover: bool,
+    incremental: bool,
+    max_iterations: int,
+) -> Tuple[Dict, List[Tuple[int, int]]]:
+    """Deduplicate batch state and precompute per-alignment derivations.
+
+    Returns the broadcast context plus, per pending job, its
+    ``(newick_idx, aln_idx)`` indices.  Alignments are keyed on their
+    raw ``(names, sequences)`` so identical genes (every branch of one
+    scan) share one pattern compression, one frequency estimate, and
+    one set of wire buffers.  The precomputation replicates
+    ``LikelihoodEngine.bind``'s default path exactly — same
+    ``from_sequences`` encode, same F3x4 estimate from the re-emitted
+    sequences, same ``compress_patterns`` — so a worker binding the
+    shipped :class:`PatternAlignment` with the shipped ``pi`` is
+    bit-identical to the legacy per-task rebuild.
+    """
+    newicks: List[str] = []
+    newick_at: Dict[str, int] = {}
+    alignments: List[Dict] = []
+    aln_at: Dict[Tuple, int] = {}
+    keys: List[Tuple[int, int]] = []
+    for job in pending:
+        ni = newick_at.get(job.newick)
+        if ni is None:
+            ni = newick_at[job.newick] = len(newicks)
+            newicks.append(job.newick)
+        akey = (job.names, job.sequences)
+        ai = aln_at.get(akey)
+        if ai is None:
+            ai = aln_at[akey] = len(alignments)
+            aln = CodonAlignment.from_sequences(list(job.names), list(job.sequences))
+            pi = estimate_codon_frequencies(
+                aln.to_sequences(), method="f3x4", code=aln.code
+            )
+            pat = compress_patterns(aln)
+            alignments.append({
+                "names": list(pat.alignment.names),
+                "states": pat.alignment.states,
+                "ambiguity": [
+                    [int(row), int(col), list(map(int, states))]
+                    for (row, col), states in pat.alignment.ambiguity_sets.items()
+                ],
+                "weights": pat.weights,
+                "site_to_pattern": pat.site_to_pattern.astype(np.int64),
+                "pi": np.asarray(pi, dtype=np.float64),
+            })
+        keys.append((ni, ai))
+    context = {
+        "engine": engine,
+        "recover": recover,
+        "incremental": incremental,
+        "max_iterations": max_iterations,
+        "newicks": newicks,
+        "alignments": alignments,
+    }
+    return context, keys
+
+
+def _materialize_patterns(entry: Dict) -> Tuple[PatternAlignment, np.ndarray]:
+    """Rebuild a :class:`PatternAlignment` from its broadcast fields.
+
+    Array fields stay the zero-copy (read-only) views the wire decoder
+    produced — nothing in the likelihood path writes to alignment
+    state, so the shared pages are mapped, never copied.
+    """
+    alignment = CodonAlignment(
+        names=list(entry["names"]),
+        states=entry["states"],
+        ambiguity_sets={
+            (row, col): tuple(states) for row, col, states in entry["ambiguity"]
+        },
+    )
+    patterns = PatternAlignment(
+        alignment=alignment,
+        weights=entry["weights"],
+        site_to_pattern=entry["site_to_pattern"],
+    )
+    return patterns, np.asarray(entry["pi"], dtype=float)
+
+
+def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
+    """Worker entry point for index payloads over a broadcast context.
+
+    ``payload`` is ``(gene_id, newick_idx, fg_node, aln_idx, seed)``;
+    everything batch-constant — engine choice, recovery/incremental
+    flags, iteration budget, trees, compressed alignments, codon
+    frequencies — comes from the one-shot ``context``.  Materialised
+    patterns are cached in the context per worker process, so only the
+    first task touching an alignment pays the (already cheap) rebuild;
+    that cost is reported as ``setup_seconds``.
+    """
+    gene_id, newick_idx, fg_node, aln_idx, seed = payload
+    cache = context.setdefault("_cache", {})
+    setup = 0.0
+    cached = cache.get(aln_idx)
+    if cached is None:
+        t0 = time.perf_counter()
+        cached = _materialize_patterns(context["alignments"][aln_idx])
+        cache[aln_idx] = cached
+        setup = time.perf_counter() - t0
+    patterns, pi = cached
+    tree = parse_newick(context["newicks"][newick_idx])
+    if fg_node is not None:
+        tree.mark_foreground(tree.nodes[fg_node])
+    recover = bool(context["recover"])
+    incremental = bool(context["incremental"])
+    engine = make_engine(
+        context["engine"], recovery=RecoveryConfig() if recover else None
+    )
+    test = fit_branch_site_test(
+        lambda model: engine.bind(tree, patterns, model, pi=pi,
+                                  incremental=incremental),
+        seed=seed,
+        max_iterations=int(context["max_iterations"]),
+        recovery=RecoveryPolicy() if recover else None,
+    )
+    return _assemble_result(gene_id, test, engine, incremental,
+                            setup_seconds=setup)
 
 
 def analyze_genes(
@@ -266,11 +435,13 @@ def analyze_genes(
     rather than raising.
     """
     policy = policy if policy is not None else FaultPolicy()
-    run = worker if worker is not None else _run_gene
+    shared = worker is None
+    run = worker if worker is not None else _run_gene_shared
 
     results: List[Optional[GeneResult]] = [None] * len(jobs)
-    payloads: List[Tuple] = []
+    pending_jobs: List[GeneJob] = []
     payload_jobs: List[int] = []  # payload position -> job index
+    payload_seeds: List[int] = []
 
     done: Dict[str, GeneResult] = {}
     if journal is not None and resume:
@@ -279,7 +450,26 @@ def analyze_genes(
         if job.gene_id in done:
             results[k] = done[job.gene_id]
         else:
-            base: Tuple = (job, engine, seed + k, max_iterations)
+            pending_jobs.append(job)
+            payload_jobs.append(k)
+            payload_seeds.append(seed + k)
+
+    context: Optional[Dict] = None
+    payloads: List[Tuple] = []
+    if shared:
+        # Default data plane: one broadcast context per batch, integer
+        # indices per task (see module docstring).
+        context, keys = _build_shared_context(
+            pending_jobs, engine, recover, incremental, max_iterations
+        )
+        payloads = [
+            (job.gene_id, ni, job.fg_node, ai, s)
+            for job, (ni, ai), s in zip(pending_jobs, keys, payload_seeds)
+        ]
+    else:
+        # Custom-worker seam: the historical self-contained tuples.
+        for job, s in zip(pending_jobs, payload_seeds):
+            base: Tuple = (job, engine, s, max_iterations)
             # Keep the historical 4-tuple when neither flag is set so
             # custom workers written against it never see a surprise
             # element; ``incremental`` rides sixth, after ``recover``.
@@ -288,7 +478,6 @@ def analyze_genes(
             if incremental:
                 base = base + (True,)
             payloads.append(base)
-            payload_jobs.append(k)
 
     sink = ResultJournal(journal) if journal is not None else None
     try:
@@ -318,6 +507,7 @@ def analyze_genes(
             on_outcome=handle,
             in_process=in_process,
             executor=executor,
+            context=context,
         )
     finally:
         if sink is not None:
@@ -416,12 +606,31 @@ def scan_branches(
         n for n in tree.nodes if not n.is_root and (not internal_only or not n.is_leaf)
     ]
     jobs = []
-    for node in candidates:
-        marked = tree.copy()
-        marked.mark_foreground(marked.nodes[node.index])
-        jobs.append(
-            GeneJob.from_objects(f"{gene_id}:{branch_label(tree, node.index)}", marked, alignment)
-        )
+    if worker is None:
+        # Default data plane: every candidate shares one base Newick
+        # (deduplicated into the broadcast context) and carries only its
+        # foreground-node index; the worker applies the mark.  Node
+        # indices survive the write→parse round trip because both
+        # traversals visit children in the same order.
+        for node in candidates:
+            jobs.append(
+                GeneJob.from_objects(
+                    f"{gene_id}:{branch_label(tree, node.index)}",
+                    tree,
+                    alignment,
+                    fg_node=node.index,
+                )
+            )
+    else:
+        # Custom-worker seam: pre-marked trees, the historical contract.
+        for node in candidates:
+            marked = tree.copy()
+            marked.mark_foreground(marked.nodes[node.index])
+            jobs.append(
+                GeneJob.from_objects(
+                    f"{gene_id}:{branch_label(tree, node.index)}", marked, alignment
+                )
+            )
     results = analyze_genes(
         jobs,
         engine=engine,

@@ -77,7 +77,7 @@ class ExecutorEvent:
 class Executor(ABC):
     """Abstract execution substrate behind the fault-policy driver.
 
-    Lifecycle: ``start(fn, n_tasks)`` → interleaved ``submit``/``drain``
+    Lifecycle: ``start(fn, n_tasks, context)`` → interleaved ``submit``/``drain``
     → (batch done) → possibly another ``start`` → ``shutdown``.  The
     driver keeps at most :meth:`capacity` tags in flight, so a
     backend's per-task clocks start at dispatch, not at queue entry.
@@ -93,8 +93,23 @@ class Executor(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
-        """Begin a batch: fix the task callable and size hint."""
+    def start(
+        self,
+        fn: Callable[..., object],
+        n_tasks: int,
+        context: object = None,
+    ) -> None:
+        """Begin a batch: fix the task callable and size hint.
+
+        ``context`` is the batch's shared read-only state, shipped to
+        every worker **once** per batch — over the socket backend as a
+        single broadcast frame at worker hello, over the pool backend
+        as a ``multiprocessing.shared_memory`` segment workers attach
+        and decode zero-copy.  When a context is given the callable is
+        invoked as ``fn(payload, context)``; with ``context=None`` the
+        legacy single-argument form ``fn(payload)`` is kept, so
+        existing callables keep working unchanged.
+        """
 
     @abstractmethod
     def capacity(self) -> int:

@@ -24,11 +24,18 @@ class InlineExecutor(Executor):
     name = "inline"
 
     def __init__(self) -> None:
-        self._fn: Optional[Callable[[object], object]] = None
+        self._fn: Optional[Callable[..., object]] = None
+        self._context: object = None
         self._events: List[ExecutorEvent] = []
 
-    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
+    def start(
+        self,
+        fn: Callable[..., object],
+        n_tasks: int,
+        context: object = None,
+    ) -> None:
         self._fn = fn
+        self._context = context
         self._events = []
 
     def capacity(self) -> int:
@@ -44,7 +51,10 @@ class InlineExecutor(Executor):
         assert self._fn is not None, "submit before start"
         started = time.perf_counter()
         try:
-            result = self._fn(payload)
+            if self._context is None:
+                result = self._fn(payload)
+            else:
+                result = self._fn(payload, self._context)
         except Exception as exc:  # noqa: BLE001 - faults become events
             self._events.append(
                 ExecutorEvent(

@@ -13,6 +13,16 @@ Behaviour is preserved from the pre-refactor ``run_tasks`` pool path:
   round then calls :meth:`submit` with ``isolated=True`` to replay
   each lost task in a private single-worker pool, where a second crash
   *is* attributable (``attributed=True``).
+
+Shared batch state: when :meth:`start` receives a ``context``, it is
+wire-encoded **once** into a ``multiprocessing.shared_memory`` segment.
+Tasks then carry only their small payloads (for the scan layer:
+integer indices into the context); each worker process attaches the
+segment on its first task and decodes zero-copy read-only views with
+``numpy.frombuffer`` — no per-task pickling of alignments, trees or
+rate-matrix config, and no copies at all for the array payloads.  The
+coordinator owns the segment's lifetime and unlinks it at
+:meth:`shutdown` (or when a new batch replaces it).
 """
 
 from __future__ import annotations
@@ -22,9 +32,10 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.parallel.executors.base import Executor, ExecutorEvent
+from repro.parallel.executors import wire
 
 __all__ = ["ProcessPoolBackend"]
 
@@ -36,6 +47,51 @@ def _invoke(fn: Callable[[object], object], payload: object):
     """Worker-side wrapper: returns ``(worker_id, result)`` so successes
     carry the pid that computed them (per-worker metrics attribution)."""
     return f"pid:{os.getpid()}", fn(payload)
+
+
+#: Worker-process cache of the attached context segment: one batch at a
+#: time, so a new segment name evicts the previous attachment.
+_ATTACHED: Dict[str, Tuple[object, object]] = {}
+
+
+def _attach_context(shm_name: str) -> object:
+    """Attach and decode the broadcast context segment (cached).
+
+    The decode is zero-copy: array fields come back as read-only
+    ``numpy.frombuffer`` views into the shared segment, so every worker
+    on the machine reads the same physical pages.
+    """
+    cached = _ATTACHED.get(shm_name)
+    if cached is not None:
+        return cached[1]
+    from multiprocessing import shared_memory, resource_tracker
+
+    # CPython's resource tracker registers segments on *attach* too
+    # (bpo-39959), which would either double-unregister under a forked
+    # pool (shared tracker) or unlink the coordinator's live segment
+    # when a spawned worker exits.  The coordinator owns the segment's
+    # lifetime, so keep this process out of the cleanup chain entirely
+    # by muting registration for the duration of the attach.
+    orig_register = resource_tracker.register
+
+    def _mute(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            orig_register(name, rtype)
+
+    resource_tracker.register = _mute
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name)
+    finally:
+        resource_tracker.register = orig_register
+    context = wire.decode_frame(shm.buf).payload()
+    _ATTACHED.clear()  # one batch at a time; drop any stale segment
+    _ATTACHED[shm_name] = (shm, context)  # keep shm alive: views point in
+    return context
+
+
+def _invoke_shared(fn: Callable[..., object], payload: object, shm_name: str):
+    """Worker-side wrapper for batches with a shared context segment."""
+    return f"pid:{os.getpid()}", fn(payload, _attach_context(shm_name))
 
 
 def _abandon_pool(pool: ProcessPoolExecutor) -> None:
@@ -70,18 +126,58 @@ class ProcessPoolBackend(Executor):
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self._max_workers = max_workers
         self._workers = 1
-        self._fn: Optional[Callable[[object], object]] = None
+        self._fn: Optional[Callable[..., object]] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._entries: Dict[Future, _Entry] = {}
+        self._shm = None  # coordinator-owned context segment
+        self._context_bytes = 0
 
     # -- lifecycle -----------------------------------------------------
-    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
+    def start(
+        self,
+        fn: Callable[..., object],
+        n_tasks: int,
+        context: object = None,
+    ) -> None:
         self._fn = fn
+        self._release_context()
+        if context is not None:
+            from multiprocessing import shared_memory
+
+            buffers = wire.encode_frame(wire.MSG_BATCH, 0, context)
+            size = wire.buffers_nbytes(buffers)
+            shm = shared_memory.SharedMemory(create=True, size=size)
+            offset = 0
+            for buf in buffers:
+                n = len(buf)
+                shm.buf[offset:offset + n] = bytes(buf)
+                offset += n
+            self._shm = shm
+            self._context_bytes = size
         workers = self._max_workers if self._max_workers is not None else (os.cpu_count() or 1)
         self._workers = max(1, min(workers, max(1, n_tasks)))
 
     def capacity(self) -> int:
         return self._workers
+
+    def context_nbytes(self) -> int:
+        """Encoded size of the current batch's shared context segment."""
+        return self._context_bytes
+
+    def _release_context(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except OSError:
+                pass
+            self._shm = None
+            self._context_bytes = 0
+
+    def _submit_call(self, pool: ProcessPoolExecutor, payload: object) -> Future:
+        if self._shm is not None:
+            return pool.submit(_invoke_shared, self._fn, payload, self._shm.name)
+        return pool.submit(_invoke, self._fn, payload)
 
     def shutdown(self) -> None:
         for entry in list(self._entries.values()):
@@ -91,6 +187,7 @@ class ProcessPoolBackend(Executor):
         if self._pool is not None:
             _abandon_pool(self._pool)
             self._pool = None
+        self._release_context()
 
     # -- submission ----------------------------------------------------
     def submit(
@@ -104,7 +201,7 @@ class ProcessPoolBackend(Executor):
         now = time.monotonic()
         if isolated:
             qpool = ProcessPoolExecutor(max_workers=1)
-            future = qpool.submit(_invoke, self._fn, payload)
+            future = self._submit_call(qpool, payload)
             self._entries[future] = _Entry(
                 tag, payload, future, now,
                 now + timeout if timeout is not None else None,
@@ -113,7 +210,7 @@ class ProcessPoolBackend(Executor):
             return
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self._workers)
-        future = self._pool.submit(_invoke, self._fn, payload)
+        future = self._submit_call(self._pool, payload)
         self._entries[future] = _Entry(
             tag, payload, future, now,
             now + timeout if timeout is not None else None,
@@ -237,6 +334,6 @@ class ProcessPoolBackend(Executor):
                     entry.started = time.monotonic()
                     if entry.timeout is not None:
                         entry.deadline = entry.started + entry.timeout
-                    entry.future = self._pool.submit(_invoke, self._fn, entry.payload)
+                    entry.future = self._submit_call(self._pool, entry.payload)
                     self._entries[entry.future] = entry
         return events

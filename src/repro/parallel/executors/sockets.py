@@ -2,12 +2,20 @@
 
 The scan process hosts a small TCP server.  Worker processes — started
 by the operator on any host that can reach it, via ``slimcodeml worker
---connect host:port`` — register, heartbeat, pull pickled tasks one at
-a time, and stream results back.  Because a worker holds at most one
-task, every worker death is *attributable*: the backend emits
-``crash`` events with ``attributed=True`` and the driver's quarantine
-machinery never needs to run (the ``isolated`` submit flag is a no-op
-here).
+--connect host:port`` — register, heartbeat, pull tasks one at a time,
+and stream results back.  Because a worker holds at most one task,
+every worker death is *attributable*: the backend emits ``crash``
+events with ``attributed=True`` and the driver's quarantine machinery
+never needs to run (the ``isolated`` submit flag is a no-op here).
+
+Data plane (see :mod:`.wire` for the frame layout): at :meth:`start`
+the server encodes **one** ``BATCH`` frame — the pickled task callable
+(explicit, checksummed) plus the batch's shared read-only context —
+and broadcasts it to each worker exactly once per batch, at hello or
+before its first dispatch.  Task frames then carry only the small
+per-task payload (for the scan layer: integer indices into the
+broadcast state), and array data in either direction travels as raw
+buffers, not pickles.
 
 Fault taxonomy mapping (onto :class:`repro.parallel.faults.FaultPolicy`):
 
@@ -16,13 +24,18 @@ Fault taxonomy mapping (onto :class:`repro.parallel.faults.FaultPolicy`):
   heartbeat), surfaced as a ``pool``-kind :class:`TaskFailure`;
 * task exceeds its deadline  → ``timeout`` event; the worker is
   disconnected (it may be wedged) and gets no further tasks;
-* every worker gone and none → queued tasks fail as crashes after a
-  reconnects within the grace   ``worker_wait`` grace period, so the
-                                batch always terminates.
+* a dispatch that stalls mid-send → ``crash`` event: part of the frame
+  may already be with the worker, so the stream is desynced and the
+  connection is dropped — the task is *charged an attempt*, never
+  silently requeued, so it cannot execute on two workers at once;
+* every worker gone and none reconnects within the grace period →
+  queued tasks fail as crashes, so the batch always terminates.
 
-Trust model: frames are pickled (see :mod:`.wire`) — only run workers
-you control, on networks you control, exactly as you would with
-``multiprocessing`` across hosts.
+Trust model: the only frame a worker will unpickle is the batch
+broadcast's explicitly framed, checksummed callable blob — task frames
+decode strictly (plain data + raw buffers).  Run workers on hosts and
+networks you control, as you would with ``multiprocessing`` — but a
+task or heartbeat frame can no longer smuggle arbitrary code.
 """
 
 from __future__ import annotations
@@ -38,12 +51,17 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.parallel.executors.base import Executor, ExecutorEvent
-from repro.parallel.executors.wire import WireError, recv_msg, send_msg
+from repro.parallel.executors import wire
+from repro.parallel.executors.wire import WireError
 
 __all__ = ["SocketExecutor"]
 
 #: How often idle connection handlers poll for tasks / consume heartbeats.
 _POLL = 0.2
+
+#: How often an idle server pings each worker (lets workers detect a
+#: hung — not dead — coordinator and exit instead of blocking forever).
+_PING_INTERVAL = 2.0
 
 
 @dataclass
@@ -61,6 +79,9 @@ class _WorkerConn:
         self.addr = addr
         self.worker_id = worker_id
         self.last_seen = time.monotonic()
+        self.last_sent = 0.0
+        #: Batch epoch whose broadcast this worker has received.
+        self.epoch = 0
 
 
 class SocketExecutor(Executor):
@@ -81,7 +102,8 @@ class SocketExecutor(Executor):
     heartbeat_timeout:
         A busy worker silent for this long (no result, no heartbeat)
         is declared dead — covers network partitions and frozen hosts;
-        a killed local worker is caught faster via EOF.
+        a killed local worker is caught faster via EOF.  Also bounds
+        how long one framed read or one task dispatch may stall.
     """
 
     name = "socket"
@@ -100,7 +122,8 @@ class SocketExecutor(Executor):
         self.worker_wait = worker_wait
         self.heartbeat_timeout = heartbeat_timeout
 
-        self._fn_blob: Optional[bytes] = None
+        self._batch_buffers: Optional[List[object]] = None
+        self._batch_epoch = 0
         self._lock = threading.Lock()
         self._task_cond = threading.Condition(self._lock)
         self._tasks: deque = deque()  # undispatched _Task records
@@ -109,6 +132,14 @@ class SocketExecutor(Executor):
         self._n_registered = 0
         self._last_worker_change = time.monotonic()
         self._shutdown = False
+        self._wire_lock = threading.Lock()
+        self._wire: Dict[str, int] = {
+            "bytes_sent": 0, "bytes_received": 0,
+            "frames_sent": 0, "frames_received": 0,
+            "broadcasts": 0, "broadcast_bytes": 0,
+            "tasks_dispatched": 0, "task_bytes": 0,
+            "results_received": 0, "result_bytes": 0,
+        }
 
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -129,8 +160,30 @@ class SocketExecutor(Executor):
         with self._lock:
             return len(self._workers)
 
-    def start(self, fn: Callable[[object], object], n_tasks: int) -> None:
-        self._fn_blob = pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL)
+    def wire_stats(self) -> Dict[str, float]:
+        """Data-plane counters (bytes/frames, broadcast vs per-task)."""
+        with self._wire_lock:
+            stats: Dict[str, float] = dict(self._wire)
+        tasks = stats["tasks_dispatched"]
+        stats["task_bytes_mean"] = stats["task_bytes"] / tasks if tasks else 0.0
+        return stats
+
+    def start(
+        self,
+        fn: Callable[[object], object],
+        n_tasks: int,
+        context: object = None,
+    ) -> None:
+        # One broadcast frame per batch: the (explicit, checksummed)
+        # callable blob plus the shared read-only context, encoded once
+        # and replayed to each worker — including late joiners.
+        blob = wire.Pickled(pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
+        with self._lock:
+            self._batch_epoch += 1
+            epoch = self._batch_epoch
+        self._batch_buffers = wire.encode_frame(
+            wire.MSG_BATCH, epoch, {"fn": blob, "context": context}
+        )
         deadline = time.monotonic() + self.worker_wait
         while self.n_workers() < self.min_workers:
             if time.monotonic() > deadline:
@@ -194,6 +247,12 @@ class SocketExecutor(Executor):
         except OSError:
             pass
 
+    # -- wire accounting -----------------------------------------------
+    def _count(self, **deltas: int) -> None:
+        with self._wire_lock:
+            for key, value in deltas.items():
+                self._wire[key] += value
+
     # -- internals -----------------------------------------------------
     def _fail_orphans_if_deserted(self) -> List[ExecutorEvent]:
         """Fail queued tasks once no worker has been around for a while."""
@@ -229,19 +288,34 @@ class SocketExecutor(Executor):
                 name=f"slimcodeml-worker-conn-{addr[1]}", daemon=True,
             ).start()
 
+    def _recv(self, conn: socket.socket) -> Optional[wire.Frame]:
+        """One framed read under the heartbeat window; the connection's
+        own (blocking) timeout is restored afterwards by recv_frame."""
+        frame = wire.recv_frame(conn, timeout=self.heartbeat_timeout)
+        if frame is not None:
+            self._count(bytes_received=frame.nbytes, frames_received=1)
+        return frame
+
     def _register(self, conn: socket.socket, addr: Tuple[str, int]) -> Optional[_WorkerConn]:
         try:
-            conn.settimeout(self.heartbeat_timeout)
-            hello = recv_msg(conn)
+            hello = self._recv(conn)
         except (OSError, WireError):
             conn.close()
             return None
-        if not isinstance(hello, dict) or hello.get("type") != "hello":
+        if hello is None or hello.msg_type != wire.MSG_HELLO:
+            conn.close()
+            return None
+        try:
+            meta = hello.payload()
+        except WireError:
+            conn.close()
+            return None
+        if not isinstance(meta, dict):
             conn.close()
             return None
         with self._lock:
             self._n_registered += 1
-            base = hello.get("worker") or f"{addr[0]}:{addr[1]}"
+            base = meta.get("worker") or f"{addr[0]}:{addr[1]}"
             worker_id = f"{base}#{self._n_registered}"
             worker = _WorkerConn(conn, addr, worker_id)
             self._workers[worker_id] = worker
@@ -268,33 +342,83 @@ class SocketExecutor(Executor):
             self._tasks.appendleft(task)
             self._task_cond.notify()
 
+    def _send_timed(self, worker: _WorkerConn, buffers: List[object]) -> int:
+        """Send one frame under the heartbeat window, restoring the
+        connection's previous timeout whatever happens.
+
+        A dead peer cannot stall the server forever, and — the PR 6
+        dispatch fix — the window is set *explicitly here*, never
+        inherited from whatever a previous framed read left behind.
+        """
+        conn = worker.conn
+        prev = conn.gettimeout()
+        conn.settimeout(self.heartbeat_timeout)
+        try:
+            sent = wire.send_buffers(conn, buffers)
+        finally:
+            try:
+                conn.settimeout(prev)
+            except OSError:
+                pass
+        worker.last_sent = time.monotonic()
+        self._count(bytes_sent=sent, frames_sent=1)
+        return sent
+
+    def _ensure_batch(self, worker: _WorkerConn) -> bool:
+        """Broadcast the current batch frame to this worker if it has
+        not seen it yet.  Returns False when the connection is gone
+        (no task has been dispatched, so nothing is lost)."""
+        buffers = self._batch_buffers
+        if buffers is None or worker.epoch == self._batch_epoch:
+            return True
+        try:
+            sent = self._send_timed(worker, buffers)
+        except OSError:
+            return False
+        worker.epoch = self._batch_epoch
+        self._count(broadcasts=1, broadcast_bytes=sent,
+                    frames_sent=0, bytes_sent=0)
+        return True
+
     def _serve_worker(self, conn: socket.socket, addr: Tuple[str, int]) -> None:
         worker = self._register(conn, addr)
         if worker is None:
+            return
+        # Greet with the active batch immediately (the one-shot
+        # broadcast at hello); a worker that joins between batches gets
+        # it lazily before its first dispatch instead.
+        if not self._ensure_batch(worker):
+            self._unregister(worker)
             return
         try:
             while not self._shutdown:
                 task = self._claim_task()
                 if task is None:
-                    # Idle: consume heartbeats and notice an EOF (a
-                    # worker killed between tasks) without holding a task.
+                    # Idle: consume heartbeats, notice EOF (a worker
+                    # killed between tasks) and ping so the worker can
+                    # tell a hung coordinator from a quiet one.
+                    now = time.monotonic()
+                    if now - worker.last_sent >= _PING_INTERVAL:
+                        try:
+                            self._send_timed(worker, _PING_BUFFERS)
+                        except OSError:
+                            return
                     readable, _, _ = select.select([conn], [], [], _POLL)
                     if readable:
                         try:
-                            # A heartbeat frame that arrives in pieces
-                            # must not count its slow tail as a dead
-                            # worker; allow the full heartbeat window.
-                            conn.settimeout(self.heartbeat_timeout)
-                            msg = recv_msg(conn)
+                            msg = self._recv(conn)
                         except (OSError, WireError):
                             return
                         if msg is None:
                             return  # worker left while idle: no task lost
                     continue
+                if not self._ensure_batch(worker):
+                    self._requeue(task)
+                    return
                 if not self._run_one(worker, task):
                     return
             try:
-                send_msg(conn, {"type": "shutdown"})
+                self._send_timed(worker, _SHUTDOWN_BUFFERS)
             except OSError:
                 pass
         finally:
@@ -309,17 +433,38 @@ class SocketExecutor(Executor):
         conn = worker.conn
         started = time.monotonic()
         try:
-            send_msg(conn, {
-                "type": "task",
-                "tag": task.tag,
-                "fn": self._fn_blob,
-                "payload": task.payload,
-            })
+            buffers = wire.encode_frame(wire.MSG_TASK, task.tag, task.payload,
+                                        allow_pickle=False)
+        except TypeError as exc:
+            # Nothing touched the socket: fail the task, keep the worker.
+            self._events.put(ExecutorEvent(
+                tag=task.tag,
+                kind="error",
+                error_type="WireEncodeError",
+                message=str(exc),
+                worker=worker.worker_id,
+            ))
+            return True
+        try:
+            sent = self._send_timed(worker, buffers)
+        except socket.timeout:
+            # Mid-send stall: part of the frame may already be with the
+            # worker, so the stream is desynced.  Treating this as "the
+            # task never ran" and requeueing could execute it twice —
+            # charge the attempt as a crash and drop the connection.
+            self._events.put(self._crash_event(
+                task, worker, started,
+                f"dispatch stalled mid-send after {self.heartbeat_timeout:g}s",
+            ))
+            return False
         except OSError:
-            # Worker died before dispatch: the task never ran, so give
-            # it back to the queue instead of charging it an attempt.
+            # Connection-level failure (reset/broken pipe): the kernel
+            # has torn the stream down, so the worker can never read a
+            # complete task frame — safe to give the task back.
             self._requeue(task)
             return False
+        self._count(tasks_dispatched=1, task_bytes=sent,
+                    frames_sent=0, bytes_sent=0)
         worker.last_seen = time.monotonic()
         while True:
             now = time.monotonic()
@@ -341,11 +486,10 @@ class SocketExecutor(Executor):
                 readable, _, _ = select.select([conn], [], [], _POLL)
                 if not readable:
                     continue
-                # A frame can land in pieces under load; reading its
-                # tail with a short timeout would desync the stream,
-                # so give it the full heartbeat window per chunk.
-                conn.settimeout(self.heartbeat_timeout)
-                msg = recv_msg(conn)
+                # A frame can land in pieces under load; recv_frame
+                # reads its tail under the heartbeat window and then
+                # restores the connection's blocking behaviour.
+                msg = self._recv(conn)
             except (OSError, WireError):
                 self._events.put(self._crash_event(task, worker, started,
                                                    "connection reset"))
@@ -355,24 +499,38 @@ class SocketExecutor(Executor):
                                                    "connection closed"))
                 return False
             worker.last_seen = time.monotonic()
-            if msg.get("type") == "heartbeat":
+            if msg.msg_type == wire.MSG_HEARTBEAT:
                 continue
-            if msg.get("type") == "result" and msg.get("tag") == task.tag:
-                if msg.get("ok"):
+            if msg.msg_type == wire.MSG_RESULT and msg.tag == task.tag:
+                try:
+                    # Results come from the callable this server itself
+                    # shipped, so the explicit-pickle fallback (exotic
+                    # return types) is acceptable here.
+                    reply = msg.payload(allow_pickle=True)
+                except WireError as exc:
+                    self._events.put(self._crash_event(
+                        task, worker, started, f"undecodable result ({exc})"))
+                    return False
+                self._count(results_received=1, result_bytes=msg.nbytes)
+                if not isinstance(reply, dict):
+                    self._events.put(self._crash_event(
+                        task, worker, started, "malformed result frame"))
+                    return False
+                if reply.get("ok"):
                     self._events.put(ExecutorEvent(
                         tag=task.tag,
                         kind="ok",
-                        result=msg.get("result"),
-                        elapsed=float(msg.get("elapsed", time.monotonic() - started)),
+                        result=reply.get("result"),
+                        elapsed=float(reply.get("elapsed", time.monotonic() - started)),
                         worker=worker.worker_id,
                     ))
                 else:
                     self._events.put(ExecutorEvent(
                         tag=task.tag,
                         kind="error",
-                        error_type=msg.get("error_type", "Error"),
-                        message=msg.get("message", ""),
-                        elapsed=float(msg.get("elapsed", time.monotonic() - started)),
+                        error_type=reply.get("error_type", "Error"),
+                        message=reply.get("message", ""),
+                        elapsed=float(reply.get("elapsed", time.monotonic() - started)),
                         worker=worker.worker_id,
                     ))
                 return True
@@ -390,3 +548,8 @@ class SocketExecutor(Executor):
             worker=worker.worker_id,
             attributed=True,
         )
+
+
+#: Control frames are constant: encode them once at import.
+_PING_BUFFERS = wire.encode_frame(wire.MSG_PING, with_payload=False)
+_SHUTDOWN_BUFFERS = wire.encode_frame(wire.MSG_SHUTDOWN, with_payload=False)

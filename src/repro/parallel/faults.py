@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.parallel.executors.base import Executor, ExecutorEvent
+from repro.parallel.executors.wire import register_struct
 
 __all__ = ["FaultPolicy", "TaskFailure", "TaskOutcome", "run_tasks"]
 
@@ -130,6 +131,7 @@ class FaultPolicy:
         return base * (1.0 - self.jitter * self._rng.random())  # type: ignore[attr-defined]
 
 
+@register_struct
 @dataclass(frozen=True)
 class TaskFailure:
     """Structured record of one task's terminal failure.
@@ -184,12 +186,19 @@ def run_tasks(
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
     in_process: bool = False,
     executor: Optional[Executor] = None,
+    context: object = None,
 ) -> List[TaskOutcome]:
     """Run ``fn`` over ``payloads`` under ``policy``, never raising per-task.
 
     Results come back in input order.  ``on_outcome`` fires once per
     task *in completion order* as soon as its terminal state is known —
     the hook the batch layer uses to stream results to a journal.
+
+    ``context`` is the batch's shared read-only state.  It is shipped
+    to workers once per batch (socket broadcast frame / pool
+    shared-memory segment) instead of per task, and when present the
+    callable is invoked as ``fn(payload, context)`` rather than
+    ``fn(payload)``.
 
     ``executor`` selects the execution substrate (see
     :mod:`repro.parallel.executors`); a caller-provided executor is
@@ -217,7 +226,8 @@ def run_tasks(
 
             executor = ProcessPoolBackend(max_workers=max_workers)
 
-    driver = _PolicyDriver(fn, payloads, ids, policy, executor, on_outcome)
+    driver = _PolicyDriver(fn, payloads, ids, policy, executor, on_outcome,
+                           context=context)
     try:
         return driver.run()
     finally:
@@ -236,6 +246,7 @@ class _PolicyDriver:
         policy: FaultPolicy,
         executor: Executor,
         on_outcome: Optional[Callable[[TaskOutcome], None]],
+        context: object = None,
     ) -> None:
         self.fn = fn
         self.payloads = payloads
@@ -243,6 +254,7 @@ class _PolicyDriver:
         self.policy = policy
         self.executor = executor
         self.on_outcome = on_outcome
+        self.context = context
 
         n = len(payloads)
         self.outcomes: List[Optional[TaskOutcome]] = [None] * n
@@ -409,7 +421,7 @@ class _PolicyDriver:
     def run(self) -> List[TaskOutcome]:
         if not self.payloads:
             return []
-        self.executor.start(self.fn, len(self.payloads))
+        self.executor.start(self.fn, len(self.payloads), context=self.context)
         while self.pending or self.in_flight or self.retry_at or self.lost_unattributed:
             if self.lost_unattributed:
                 lost, self.lost_unattributed = self.lost_unattributed, []

@@ -59,6 +59,15 @@ class BatchSummary:
     total_clv_propagations: int = 0
     #: Branch applications served from incremental CLV state instead.
     total_clv_reuses: int = 0
+    #: Worker-side one-time context materialisation (cold start), summed.
+    total_setup_seconds: float = 0.0
+    #: Tasks that paid a cold start (first touch of an alignment's
+    #: broadcast entry in some worker process).
+    n_cold_starts: int = 0
+    #: Data-plane counters (an executor's ``wire_stats()``), attached by
+    #: the caller after the batch: bytes/frames split into the one-shot
+    #: broadcast versus per-task traffic.  Empty = backend has no wire.
+    wire: Dict[str, float] = field(default_factory=dict)
 
     @property
     def n_resumed(self) -> int:
@@ -87,6 +96,10 @@ class BatchSummary:
         if clv_stats:
             self.total_clv_propagations += int(clv_stats.get("propagations", 0))
             self.total_clv_reuses += int(clv_stats.get("reuses", 0))
+        setup = float(getattr(result, "setup_seconds", 0.0) or 0.0)
+        if setup > 0.0 and not resumed:
+            self.total_setup_seconds += setup
+            self.n_cold_starts += 1
         if result.failed:
             self.n_failed += 1
             kind = result.failure.kind if result.failure is not None else "error"
@@ -141,6 +154,25 @@ class BatchSummary:
                     for kind, count in sorted(self.events_by_kind.items())
                 )
             lines.append(line)
+        if self.n_cold_starts:
+            lines.append(
+                f"cold start : {self.total_setup_seconds * 1000.0:.1f} ms "
+                f"materialising broadcast context across "
+                f"{self.n_cold_starts} first-touch task"
+                f"{'s' if self.n_cold_starts != 1 else ''}"
+            )
+        if self.wire:
+            dispatched = int(self.wire.get("tasks_dispatched", 0))
+            if dispatched:
+                per_task = self.wire.get("task_bytes_mean", 0.0)
+                lines.append(
+                    f"wire       : {per_task:,.0f} B/task over {dispatched} "
+                    f"dispatches, one-shot broadcast "
+                    f"{int(self.wire.get('broadcast_bytes', 0)):,} B "
+                    f"({int(self.wire.get('broadcasts', 0))} deliveries), "
+                    f"{int(self.wire.get('bytes_sent', 0)):,} B out / "
+                    f"{int(self.wire.get('bytes_received', 0)):,} B in"
+                )
         if self.tasks_by_worker:
             parts = ", ".join(
                 f"{worker}={count} task{'s' if count != 1 else ''}"

@@ -16,8 +16,11 @@ import faulthandler
 import multiprocessing
 import os
 import signal
+import socket
+import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.parallel.executors import (
@@ -25,6 +28,7 @@ from repro.parallel.executors import (
     ProcessPoolBackend,
     SocketExecutor,
     make_executor,
+    wire,
 )
 from repro.parallel.executors.worker import parse_address, run_worker
 from repro.parallel.faults import FaultPolicy, run_tasks
@@ -60,6 +64,25 @@ def _flaky_via_file(payload):
 def _sleep_seconds(x):
     time.sleep(x)
     return x
+
+
+def _ctx_scaled(payload, context):
+    """Batch-context consumer: index into broadcast state."""
+    return float(context["arr"][payload]) * context["scale"]
+
+
+def _log_then_echo(payload):
+    """Appends its id to a file (exactly-once probe) and echoes it.
+
+    The payload drags a large array along purely to make the dispatch
+    frame outgrow kernel socket buffers, so a peer that stops reading
+    stalls the coordinator's send mid-frame.
+    """
+    path, value, arr = payload
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    time.sleep(0.3)
+    return (value, float(arr[0]))
 
 
 def _exit_if_marked(x):
@@ -290,6 +313,143 @@ class TestSocketSpecifics:
             assert port > 0
         finally:
             executor.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Broadcast context: one-shot shared state reaches fn on every backend
+# ----------------------------------------------------------------------
+class TestContextBroadcast:
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_context_reaches_fn(self, kind):
+        context = {"arr": np.arange(8, dtype=np.float64), "scale": 3}
+        with backend(kind) as executor:
+            outcomes = run_tasks(
+                _ctx_scaled, [0, 3, 7], executor=executor, context=context
+            )
+        assert [o.result for o in outcomes] == [0.0, 9.0, 21.0]
+
+    def test_socket_rebroadcasts_new_batch_context(self):
+        """A reused fleet must see each batch's own context (epoch bump),
+        and the data plane must bill it as broadcast, not per-task."""
+        with backend("socket") as executor:
+            first = run_tasks(
+                _ctx_scaled, [1], executor=executor,
+                context={"arr": np.array([0.0, 2.0]), "scale": 2},
+            )
+            second = run_tasks(
+                _ctx_scaled, [1], executor=executor,
+                context={"arr": np.array([0.0, 2.0]), "scale": 5},
+            )
+            stats = executor.wire_stats()
+        assert first[0].result == 4.0
+        assert second[0].result == 10.0
+        # One delivery per (batch, touched worker): at least the two
+        # dispatching workers; per-task frames stay index-sized.
+        assert stats["broadcasts"] >= 2
+        assert stats["tasks_dispatched"] == 2
+        assert stats["task_bytes_mean"] < stats["broadcast_bytes"]
+
+    def test_pool_context_replaced_between_batches(self):
+        """Pool workers attach the *current* batch's shared-memory
+        segment even when they cached the previous one."""
+        with backend("pool") as executor:
+            first = run_tasks(
+                _ctx_scaled, [1], executor=executor,
+                context={"arr": np.array([0.0, 2.0]), "scale": 2},
+            )
+            second = run_tasks(
+                _ctx_scaled, [1], executor=executor,
+                context={"arr": np.array([0.0, 2.0]), "scale": 5},
+            )
+        assert first[0].result == 4.0
+        assert second[0].result == 10.0
+
+
+# ----------------------------------------------------------------------
+# PR 6 regressions: dispatch-stall attribution and worker idle exit
+# ----------------------------------------------------------------------
+def _connect_wedged_peer(port, name="wedge"):
+    """A hostile 'worker': completes the hello handshake, then never
+    reads again — the coordinator's next dispatch to it wedges."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+    wire.send_frame(sock, wire.MSG_HELLO, 0, {"worker": name, "pid": 0})
+    return sock
+
+
+class TestWorkerIdleTimeout:
+    def test_worker_exits_on_silent_coordinator(self):
+        """Regression: the task-loop read had no timeout, so a hung
+        coordinator (accepts, never speaks) wedged workers forever
+        while their heartbeats kept flowing."""
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen()
+        port = server.getsockname()[1]
+        held = []
+        threading.Thread(
+            target=lambda: held.append(server.accept()[0]), daemon=True
+        ).start()
+        result = {}
+
+        def probe():
+            result["done"] = run_worker(
+                "127.0.0.1", port, name="idle-probe",
+                connect_timeout=10.0, idle_timeout=1.0,
+            )
+
+        thread = threading.Thread(target=probe, daemon=True)
+        start = time.perf_counter()
+        thread.start()
+        thread.join(timeout=15.0)
+        try:
+            assert not thread.is_alive(), "worker wedged behind silent coordinator"
+            assert result["done"] == 0
+            assert time.perf_counter() - start < 10.0
+        finally:
+            for conn in held:
+                conn.close()
+            server.close()
+
+
+@pytest.mark.slow
+class TestDispatchStallExactlyOnce:
+    def test_mid_send_stall_charges_attempt_no_duplicate(self, tmp_path):
+        """Regression for the duplicate-execution bug: a dispatch that
+        times out mid-``sendall`` (peer stopped reading) must be charged
+        as an attributed crash — never silently requeued — and under a
+        retry policy every task still executes exactly once."""
+        log = tmp_path / "executions.log"
+        policy = FaultPolicy(max_retries=2, retry_backoff=0.0)
+        executor = SocketExecutor(
+            port=0, min_workers=1, worker_wait=60.0, heartbeat_timeout=3.0
+        )
+        procs, _ = _spawn_fleet(executor, ["real"])
+        peer = _connect_wedged_peer(executor.address[1])
+        deadline = time.monotonic() + 30.0
+        while executor.n_workers() < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert executor.n_workers() == 2, "wedged peer failed to register"
+        # 64 MB of payload per task: comfortably beyond loopback socket
+        # buffering, so the send to the wedged peer cannot complete.
+        big = np.zeros(8_000_000, dtype=np.float64)
+        payloads = [(str(log), k, big) for k in range(6)]
+        try:
+            outcomes = run_tasks(
+                _log_then_echo, payloads, policy=policy, executor=executor
+            )
+        finally:
+            peer.close()
+            executor.shutdown()
+            _reap(procs)
+        assert all(o.ok for o in outcomes), [o.failure for o in outcomes]
+        assert [o.result for o in outcomes] == [(k, 0.0) for k in range(6)]
+        # Exactly-once: each task's side effect happened a single time
+        # even though one dispatch crashed and was retried.
+        ran = sorted(int(line) for line in log.read_text().splitlines())
+        assert ran == list(range(6))
+        # The stalled dispatch was charged an attempt (crash), not
+        # silently requeued as if it had never run.
+        assert sum(o.attempts for o in outcomes) == len(payloads) + 1
 
 
 # ----------------------------------------------------------------------

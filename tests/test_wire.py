@@ -1,0 +1,295 @@
+"""Frame-protocol tests: codec round-trips, torn/hostile frames, gating.
+
+The conformance suite in ``test_executors.py`` exercises the protocol
+end to end; this file attacks the wire layer directly — mid-frame EOF,
+oversized frames, slow-trickle delivery, pickle gating, and the
+timeout-restoration contract the PR 6 socket fixes depend on.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.parallel.executors import wire
+from repro.parallel.executors.wire import Frame, Pickled, WireError, register_struct
+
+
+def _pipe():
+    a, b = socket.socketpair()
+    a.settimeout(10.0)
+    b.settimeout(10.0)
+    return a, b
+
+
+def _roundtrip(payload, *, allow_pickle_enc=True, allow_pickle_dec=True,
+               msg_type=wire.MSG_TASK, tag=7):
+    """Send one frame over a socketpair (threaded so large payloads
+    cannot deadlock on the kernel buffer) and decode it."""
+    a, b = _pipe()
+    errors = []
+
+    def send():
+        try:
+            wire.send_frame(a, msg_type, tag, payload,
+                            allow_pickle=allow_pickle_enc)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    thread = threading.Thread(target=send)
+    thread.start()
+    try:
+        frame = wire.recv_frame(b, timeout=10.0)
+        thread.join()
+        if errors:
+            raise errors[0]
+        assert frame is not None
+        assert frame.msg_type == msg_type
+        assert frame.tag == tag
+        return frame.payload(allow_pickle=allow_pickle_dec)
+    finally:
+        a.close()
+        b.close()
+
+
+def _flat(buffers) -> bytes:
+    return b"".join(bytes(b) for b in buffers)
+
+
+class TestCodecRoundTrips:
+    def test_plain_containers(self):
+        payload = {
+            "none": None, "t": True, "f": False, "i": -12, "x": 2.5,
+            "s": "héllo", "b": b"\x00\xff", "list": [1, [2, 3], "four"],
+            "tuple": (1, (2, 3)),
+        }
+        out = _roundtrip(payload, allow_pickle_enc=False, allow_pickle_dec=False)
+        assert out == payload
+        assert isinstance(out["tuple"], tuple)
+        assert isinstance(out["tuple"][1], tuple)
+
+    def test_non_string_and_reserved_dict_keys(self):
+        payload = {1: "one", (2, 3): "pair", "__nd__": "reserved", None: "none"}
+        out = _roundtrip(payload, allow_pickle_enc=False, allow_pickle_dec=False)
+        assert out == payload
+
+    def test_arrays_zero_copy_read_only(self):
+        big = np.arange(120_000, dtype=np.float64).reshape(300, 400)
+        payload = {
+            "big": big,
+            "ints": np.array([[1, 2], [3, 4]], dtype=np.int32),
+            "bools": np.array([True, False]),
+            "zerod": np.array(2.5),
+            "scalar": np.float32(1.5),
+            "nan": float("nan"),
+        }
+        out = _roundtrip(payload, allow_pickle_enc=False, allow_pickle_dec=False)
+        assert np.array_equal(out["big"], big)
+        assert out["big"].dtype == np.float64
+        assert not out["big"].flags.writeable  # shared backing store stays safe
+        assert out["ints"].tolist() == [[1, 2], [3, 4]]
+        assert out["bools"].dtype == np.bool_
+        assert out["zerod"].shape == () and float(out["zerod"]) == 2.5
+        assert out["scalar"] == 1.5 and isinstance(out["scalar"], float)
+        assert np.isnan(out["nan"])
+
+    def test_registered_dataclass(self):
+        @register_struct
+        @dataclass(frozen=True)
+        class _WirePoint:
+            x: int
+            label: str
+            weights: np.ndarray = None
+
+        out = _roundtrip({"p": _WirePoint(3, "a", np.ones(4))},
+                         allow_pickle_enc=False, allow_pickle_dec=False)
+        assert isinstance(out["p"], _WirePoint)
+        assert out["p"].x == 3 and out["p"].label == "a"
+        assert np.array_equal(out["p"].weights, np.ones(4))
+
+    def test_control_frame_is_24_bytes(self):
+        buffers = wire.encode_frame(wire.MSG_HEARTBEAT, with_payload=False)
+        assert wire.buffers_nbytes(buffers) == 24
+        frame = wire.decode_frame(_flat(buffers))
+        assert frame.msg_type == wire.MSG_HEARTBEAT
+        assert frame.payload() is None
+
+    def test_decode_frame_buffer_path(self):
+        # The shared-memory attach path: one contiguous buffer in, views out.
+        arr = np.arange(1000, dtype=np.float64)
+        buffers = wire.encode_frame(wire.MSG_BATCH, 5, {"arr": arr, "k": (1, 2)})
+        frame = wire.decode_frame(_flat(buffers))
+        assert frame.tag == 5
+        payload = frame.payload()
+        assert np.array_equal(payload["arr"], arr)
+        assert payload["k"] == (1, 2)
+
+    def test_big_endian_arrays_normalised(self):
+        arr = np.arange(6, dtype=">f8").reshape(2, 3)
+        out = _roundtrip({"a": arr}, allow_pickle_enc=False, allow_pickle_dec=False)
+        assert np.array_equal(out["a"], arr.astype("<f8"))
+
+
+class TestPickleGating:
+    class _Exotic:
+        def __init__(self):
+            self.value = 41
+
+    def test_strict_encode_refuses_unknown_types(self):
+        with pytest.raises(TypeError, match="not wire-encodable"):
+            wire.encode_frame(wire.MSG_TASK, 0, {"x": self._Exotic()},
+                              allow_pickle=False)
+
+    def test_explicit_pickled_requires_receiver_opt_in(self):
+        out = _roundtrip({"x": Pickled(self._Exotic())}, allow_pickle_dec=True)
+        assert out["x"].value == 41
+        with pytest.raises(WireError, match="did not opt in"):
+            _roundtrip({"x": Pickled(self._Exotic())}, allow_pickle_dec=False)
+
+    def test_pickle_checksum_enforced(self):
+        buffers = wire.encode_frame(wire.MSG_BATCH, 0, {"x": Pickled((1, 2))})
+        raw = bytearray(_flat(buffers))
+        raw[-1] ^= 0xFF  # corrupt the last pickle byte
+        with pytest.raises(WireError, match="checksum"):
+            wire.decode_frame(bytes(raw)).payload(allow_pickle=True)
+
+    def test_struct_resolution_gated_to_repro_namespace(self):
+        # The codec escapes reserved keys on encode, so a hostile struct
+        # reference must be hand-built: a JSON root claiming an os struct.
+        body = b'{"__dc__":"os:Thing","f":{}}'
+        header = struct.pack(">4sBBHqQ", b"SLW2", 1, wire.MSG_TASK, 1, 0,
+                             48 + len(body))
+        table = struct.pack(">BBBxIQ4Q", 1, 0, 0, 0, len(body), 0, 0, 0, 0)
+        with pytest.raises(WireError, match="outside repro"):
+            wire.decode_frame(header + table + body).payload()
+
+
+class TestHostileFrames:
+    def test_clean_eof_at_boundary_returns_none(self):
+        a, b = _pipe()
+        a.close()
+        assert wire.recv_frame(b, timeout=5.0) is None
+        b.close()
+
+    def test_mid_header_eof_raises(self):
+        a, b = _pipe()
+        a.sendall(b"SLW2\x01")  # 5 of 24 header bytes
+        a.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            wire.recv_frame(b, timeout=5.0)
+        b.close()
+
+    def test_mid_body_eof_raises(self):
+        a, b = _pipe()
+        raw = _flat(wire.encode_frame(wire.MSG_TASK, 1, {"k": list(range(100))}))
+        a.sendall(raw[: len(raw) - 7])
+        a.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            wire.recv_frame(b, timeout=5.0)
+        b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = _pipe()
+        a.sendall(struct.pack(">4sBBHqQ", b"EVIL", 1, 1, 0, 0, 0))
+        with pytest.raises(WireError, match="not speaking"):
+            wire.recv_frame(b, timeout=5.0)
+        a.close()
+        b.close()
+
+    def test_oversized_frame_rejected_before_allocation(self):
+        a, b = _pipe()
+        a.sendall(struct.pack(">4sBBHqQ", b"SLW2", 1, wire.MSG_TASK, 1, 0, 10**12))
+        with pytest.raises(WireError, match="exceeds protocol maximum"):
+            wire.recv_frame(b, timeout=5.0)
+        a.close()
+        b.close()
+
+    def test_section_overrun_rejected(self):
+        body = struct.pack(">BBBxIQ4Q", 2, 0, 0, 0, 999, 0, 0, 0, 0) + b"short"
+        header = struct.pack(">4sBBHqQ", b"SLW2", 1, wire.MSG_TASK, 1, 0, len(body))
+        with pytest.raises(WireError, match="overruns"):
+            wire.decode_frame(header + body)
+
+    def test_array_shape_data_mismatch_rejected(self):
+        data = b"\x00" * 16  # 2 float64s, but the table claims shape (5,)
+        body = (
+            struct.pack(">BBBxIQ4Q", 1, 0, 0, 0, 12, 0, 0, 0, 0)
+            + struct.pack(">BBBxIQ4Q", 3, 1, 1, 0, len(data), 5, 0, 0, 0)
+            + b'{"__nd__":0}' + data
+        )
+        header = struct.pack(">4sBBHqQ", b"SLW2", 1, wire.MSG_TASK, 2, 0, len(body))
+        with pytest.raises(WireError, match="needs"):
+            wire.decode_frame(header + body)
+
+    def test_slow_trickle_chunked_frame(self):
+        # A frame delivered byte-dribble across many TCP segments must
+        # reassemble exactly; recv_frame loops recv_into until complete.
+        payload = {"arr": np.arange(512, dtype=np.float64), "k": "trickle"}
+        raw = _flat(wire.encode_frame(wire.MSG_TASK, 9, payload,
+                                      allow_pickle=False))
+        a, b = _pipe()
+
+        def dribble():
+            for i in range(0, len(raw), 97):
+                a.sendall(raw[i:i + 97])
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=dribble)
+        thread.start()
+        frame = wire.recv_frame(b, timeout=30.0)
+        thread.join()
+        assert frame is not None and frame.tag == 9
+        out = frame.payload()
+        assert np.array_equal(out["arr"], payload["arr"])
+        a.close()
+        b.close()
+
+
+class TestTimeoutDiscipline:
+    def test_recv_frame_restores_previous_timeout(self):
+        a, b = socket.socketpair()
+        for prev in (None, 123.0):
+            b.settimeout(prev)
+            wire.send_frame(a, wire.MSG_PING, with_payload=False)
+            frame = wire.recv_frame(b, timeout=5.0)
+            assert frame is not None and frame.msg_type == wire.MSG_PING
+            assert b.gettimeout() == prev  # the PR 6 leak fix
+        a.close()
+        b.close()
+
+    def test_recv_frame_restores_timeout_on_error(self):
+        a, b = socket.socketpair()
+        b.settimeout(77.0)
+        a.sendall(b"SLW2")  # partial header
+        a.close()
+        with pytest.raises(WireError):
+            wire.recv_frame(b, timeout=2.0)
+        assert b.gettimeout() == 77.0
+        b.close()
+
+    def test_recv_frame_times_out_without_touching_stream_state(self):
+        a, b = socket.socketpair()
+        b.settimeout(None)
+        with pytest.raises(TimeoutError):
+            wire.recv_frame(b, timeout=0.2)
+        assert b.gettimeout() is None
+        a.close()
+        b.close()
+
+
+class TestFrameObject:
+    def test_payload_cached_per_gate(self):
+        buffers = wire.encode_frame(wire.MSG_TASK, 1, {"k": [1, 2]})
+        frame = wire.decode_frame(_flat(buffers))
+        first = frame.payload()
+        assert frame.payload() is first
+
+    def test_decode_frame_rejects_short_buffer(self):
+        with pytest.raises(WireError, match="shorter than"):
+            wire.decode_frame(b"SLW2")
