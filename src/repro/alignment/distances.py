@@ -137,7 +137,12 @@ def nei_gojobori(
 
     ``column_weights`` lets the computation run directly on a
     pattern-compressed alignment: per-column contributions are additive,
-    so weighting by pattern multiplicities is exact.
+    so weighting by pattern multiplicities is exact.  Columns are first
+    canonicalised to distinct codon pairs with aggregated weights and
+    accumulated in sorted pair order, so the expanded and the
+    weight-compressed form of the same data run the *identical* float
+    operations — the results agree bit for bit, not just to rounding
+    (integer column multiplicities sum exactly in doubles).
     """
     code = code or alignment.code
     if column_weights is not None:
@@ -145,14 +150,19 @@ def nei_gojobori(
         if column_weights.shape != (alignment.n_codons,):
             raise ValueError("column_weights length must match the alignment")
     sense = code.sense_codons
-    syn_sites = nonsyn_sites = 0.0
-    syn_diff = nonsyn_diff = 0.0
-    n_compared = 0.0
+    pair_weights: dict = {}
     for col in range(alignment.n_codons):
         sa, sb = int(alignment.states[row_a, col]), int(alignment.states[row_b, col])
         if sa < 0 or sb < 0:
             continue
         w = 1.0 if column_weights is None else float(column_weights[col])
+        key = (sa, sb)
+        pair_weights[key] = pair_weights.get(key, 0.0) + w
+    syn_sites = nonsyn_sites = 0.0
+    syn_diff = nonsyn_diff = 0.0
+    n_compared = 0.0
+    for sa, sb in sorted(pair_weights):
+        w = pair_weights[(sa, sb)]
         n_compared += w
         ca, cb = sense[sa], sense[sb]
         s_a, n_a = _site_counts(ca, code)

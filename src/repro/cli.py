@@ -63,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
              "caching + cross-class subtree sharing); bit-identical to "
              "full re-pruning",
     )
+    run.add_argument(
+        "--batched", dest="batched", action="store_true", default=None,
+        help="force the stacked-operator / level-order evaluation path "
+             "(default: engine choice — on for slim-v2, off elsewhere); "
+             "bit-identical to the per-branch path",
+    )
+    run.add_argument(
+        "--no-batched", dest="batched", action="store_false",
+        help="force the per-branch evaluation path",
+    )
 
     scan = sub.add_parser(
         "scan",
@@ -104,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable incremental likelihood evaluation (dirty-path CLV "
              "caching + cross-class subtree sharing); incremental runs "
              "are bit-identical to full re-pruning",
+    )
+    scan.add_argument(
+        "--batched", dest="batched", action="store_true", default=None,
+        help="force the stacked-operator / level-order evaluation path "
+             "(default: engine choice — on for slim-v2, off elsewhere); "
+             "bit-identical to the per-branch path",
+    )
+    scan.add_argument(
+        "--no-batched", dest="batched", action="store_false",
+        help="force the per-branch evaluation path",
     )
     scan.add_argument(
         "--executor", default=None, choices=["inline", "pool", "socket"],
@@ -190,6 +210,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tree, alignment, model,
             freq_method=ctl.freq_method,
             incremental=args.incremental,
+            batched=args.batched,
         ),
         seed=seed,
         max_iterations=max_iterations,
@@ -199,7 +220,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     sites = None
     if args.beb:
         bound = engine.bind(
-            tree, alignment, _h1_model(), freq_method=ctl.freq_method
+            tree, alignment, _h1_model(), freq_method=ctl.freq_method,
+            batched=args.batched,
         )
         sites = beb_site_probabilities(bound, test.h1.values, test.h1.branch_lengths)
 
@@ -306,6 +328,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             executor=executor,
             recover=args.recover,
             incremental=args.incremental,
+            batched=args.batched,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.

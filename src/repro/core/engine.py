@@ -25,6 +25,7 @@ no BLAS — its products are hand-written portable C loops).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -44,6 +45,8 @@ from repro.core.eigen import (
     decompose_guarded,
 )
 from repro.core.expm import (
+    stacked_symmetric_operators,
+    stacked_syrk_operators,
     symmetric_branch_matrix,
     transition_matrix_einsum,
     transition_matrix_scipy,
@@ -56,17 +59,29 @@ from repro.core.recovery import (
     guard_symmetric_operator,
     guard_transition_matrix,
 )
-from repro.core.flops import FlopCounter, gemm_flops, gemv_flops, symm_flops, symv_flops
+from repro.core.flops import (
+    FlopCounter,
+    gemm_flops,
+    gemm_matrix_reads,
+    gemv_flops,
+    symm_flops,
+    symv_flops,
+    syrk_flops,
+)
 from repro.likelihood.mixture import (
     check_finite_site_log_likelihoods,
     mixture_log_likelihood,
     site_class_log_likelihoods,
 )
 from repro.likelihood.pruning import (
+    LevelSchedule,
     PruningResult,
     PruningState,
     build_leaf_clvs,
+    build_level_schedule,
+    compute_recompute_rows,
     prune_site_class,
+    prune_site_class_batched,
 )
 from repro.models.base import CodonSiteModel, SiteClass
 from repro.models.scaling import build_class_matrices
@@ -78,9 +93,41 @@ __all__ = [
     "BaselineEngine",
     "SlimEngine",
     "SlimV2Engine",
+    "BatchedOperatorSet",
     "BoundLikelihood",
     "make_engine",
 ]
+
+
+class BatchedOperatorSet:
+    """All branch operators of one ω class, possibly backed by one stack.
+
+    ``stack`` is the frozen F-ordered ``(n, n·B)`` buffer from a stacked
+    build (``None`` when the operators were built per branch — Padé
+    fallback decompositions, engines without a stacked kernel, or
+    transition-cache hits).  Each entry of ``operators`` (keyed by
+    branch length) is then a zero-copy, read-only, F-contiguous
+    column-block view of the stack, packaged in the engine's operator
+    form.  Because the views only *reference* the stack, replacing one
+    branch's operator (a recovery-ladder rebuild) never invalidates the
+    others.
+    """
+
+    __slots__ = ("operators", "stack")
+
+    def __init__(self, operators: Dict[float, object], stack: Optional[np.ndarray] = None):
+        self.operators = operators
+        self.stack = stack
+
+    def view(self, t: float) -> object:
+        """The operator for branch length ``t`` (KeyError if unplanned)."""
+        return self.operators[float(t)]
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __contains__(self, t: object) -> bool:
+        return float(t) in self.operators
 
 
 class LikelihoodEngine:
@@ -101,10 +148,16 @@ class LikelihoodEngine:
         per-ω reuse CodeML itself performs), default on.
     cache_transition_matrices:
         Additionally reuse ``P(t)`` across evaluations keyed by
-        (decomposition, t).  **Off by default**: CodeML v4.4c recomputes
-        P per evaluation and the paper's cost model assumes one expm per
-        branch per iteration; turning this on is the ablation measured
-        by ``benchmarks/bench_caching_ablation.py``.
+        (decomposition, t).  ``None`` (default) resolves to the
+        engine's :attr:`default_cache_transitions` class attribute:
+        off for ``codeml``/``slim`` (CodeML v4.4c recomputes P per
+        evaluation and the paper's cost model assumes one expm per
+        branch per iteration; turning it on is the ablation measured
+        by ``benchmarks/bench_caching_ablation.py``), on for
+        ``slim-v2`` where the batched evaluation path keeps
+        decomposition tokens stable across the optimizer's
+        single-coordinate gradient probes, so a probe of one branch
+        length reuses every other branch's operator (DESIGN.md §10).
     recovery:
         A :class:`~repro.core.recovery.RecoveryConfig` enables the
         numerical self-healing layer: the eigensolver fallback ladder
@@ -119,6 +172,12 @@ class LikelihoodEngine:
     eigh_driver = "evr"
     #: Whether CLVs are propagated with one BLAS-3 call over all patterns.
     bundled = False
+    #: Whether bindings default to the batched (stacked operators +
+    #: level-order propagation) evaluation path (DESIGN.md §10).
+    default_batched = False
+    #: Default for ``cache_transition_matrices`` when the constructor
+    #: argument is left at ``None``.
+    default_cache_transitions = False
 
     def __init__(
         self,
@@ -126,11 +185,13 @@ class LikelihoodEngine:
         counter: Optional[FlopCounter] = None,
         stopwatch: Optional[Stopwatch] = None,
         cache_decompositions: bool = True,
-        cache_transition_matrices: bool = False,
+        cache_transition_matrices: Optional[bool] = None,
         transition_cache_size: int = 4096,
         recovery: Optional[RecoveryConfig] = None,
+        batched: Optional[bool] = None,
     ) -> None:
         self.code = code
+        self.batched = self.default_batched if batched is None else bool(batched)
         self.counter = counter
         self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
         self.recovery = recovery
@@ -152,7 +213,11 @@ class LikelihoodEngine:
             else None
         )
         self._guarded_decomposer = decomposer
-        self.cache_transition_matrices = cache_transition_matrices
+        self.cache_transition_matrices = (
+            self.default_cache_transitions
+            if cache_transition_matrices is None
+            else bool(cache_transition_matrices)
+        )
         # Keyed by (decomposition token, t).  The token is the
         # process-unique sequence number on SpectralDecomposition — NOT
         # id(): after the decomposition cache evicts and the object is
@@ -202,6 +267,118 @@ class LikelihoodEngine:
         (:meth:`FlopCounter.note_saved`), so totals remain honest counts
         of executed arithmetic.  Only called when a counter is attached.
         """
+
+    # ------------------------------------------------------------------
+    # Batched-evaluation hooks (DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _build_operator_stack(
+        self, decomp: SpectralDecomposition, ts: Sequence[float]
+    ) -> Optional[np.ndarray]:
+        """F-ordered ``(n, n·B)`` stack of branch operators for ``ts``.
+
+        Column block b must equal :meth:`_build_operator` for ``ts[b]``
+        bit for bit.  ``None`` (default) means this engine has no
+        stacked kernel; the batched driver falls back to per-branch
+        builds (the baseline einsum engine, for instance, still gains
+        the planning/level amortisation without a stacked build).
+        """
+        return None
+
+    def _operator_from_view(self, view: np.ndarray, decomp) -> object:
+        """Package one column-block view of a stack as an operator."""
+        return view
+
+    def _operator_probability_matrix(self, operator: object) -> np.ndarray:
+        """Dense ``P(t)`` from this engine's operator representation.
+
+        Post-fit analyses (ancestral reconstruction) need plain
+        transition probabilities; routing them through
+        :meth:`_operator_for` keeps them on the LRU operator cache the
+        fit already warmed.  P-propagating engines hold ``P`` directly.
+        """
+        return operator
+
+    def _note_saved_build(self, decomp) -> None:
+        """Ledger one operator build skipped by the batched (ω, t) dedupe.
+
+        Model A's background-tied classes (0↔2a, 1↔2b) request the same
+        (decomposition, t) operators; the batched planner builds each
+        distinct pair once and records the aliases here.
+        """
+
+    def _propagate_level(
+        self, items: Sequence[Tuple[object, np.ndarray]]
+    ) -> List[np.ndarray]:
+        """Propagate every (operator, child CLV) pair of one tree level.
+
+        Default: the per-branch kernel in sequence.  Engines with a
+        fused level kernel override this; results must stay bit-identical
+        to per-item :meth:`_propagate` calls.
+        """
+        return [self._propagate(op, clv) for op, clv in items]
+
+    def build_operator_set(
+        self, decomp, ts: Sequence[float]
+    ) -> BatchedOperatorSet:
+        """Build (and guard) the operators of one decomposition for ``ts``.
+
+        The stacked path guards every operator *before* freezing the
+        stack (guards repair in place), then creates the public views
+        from the frozen buffer so they are read-only.
+        """
+        ts = [float(t) for t in ts]
+        stack = (
+            None
+            if isinstance(decomp, PadeFallback)
+            else self._build_operator_stack(decomp, ts)
+        )
+        if stack is None:
+            return BatchedOperatorSet({t: self._make_operator(decomp, t) for t in ts})
+        n = decomp.n_states
+        if self.recovery is not None:
+            for b, t in enumerate(ts):
+                self._guard_operator(
+                    self._operator_from_view(stack[:, b * n : (b + 1) * n], decomp), t
+                )
+        stack.setflags(write=False)
+        operators = {
+            t: self._operator_from_view(stack[:, b * n : (b + 1) * n], decomp)
+            for b, t in enumerate(ts)
+        }
+        return BatchedOperatorSet(operators, stack)
+
+    def operator_set_for(self, decomp, ts: Sequence[float]) -> BatchedOperatorSet:
+        """Operators for every distinct ``t``, via the transition cache.
+
+        The batched analogue of :meth:`_operator_for`: with the LRU
+        transition cache enabled, cached lengths are served as hits and
+        only the misses are built (stacked); fresh views are inserted
+        back into the cache.
+        """
+        with self.stopwatch.measure("expm"):
+            if not self.cache_transition_matrices:
+                return self.build_operator_set(decomp, ts)
+            cached: Dict[float, object] = {}
+            missing: List[float] = []
+            for t in ts:
+                key = (decomp.token, float(t))
+                op = self._transition_cache.get(key)
+                if op is not None:
+                    self.transition_hits += 1
+                    self._transition_cache.move_to_end(key)
+                    cached[float(t)] = op
+                else:
+                    self.transition_misses += 1
+                    missing.append(float(t))
+            if not missing:
+                return BatchedOperatorSet(cached)
+            built = self.build_operator_set(decomp, missing)
+            for t, op in built.operators.items():
+                self._transition_cache[(decomp.token, t)] = op
+            while len(self._transition_cache) > self._transition_cache_size:
+                self._transition_cache.popitem(last=False)
+            cached.update(built.operators)
+            return BatchedOperatorSet(cached, built.stack)
 
     # ------------------------------------------------------------------
     def _decompose(self, matrix: CodonRateMatrix):
@@ -276,6 +453,7 @@ class LikelihoodEngine:
         pi: Optional[np.ndarray] = None,
         freq_method: str = "f3x4",
         incremental: bool = False,
+        batched: Optional[bool] = None,
     ) -> "BoundLikelihood":
         """Bind this engine to a (tree, alignment, model) problem.
 
@@ -283,7 +461,10 @@ class LikelihoodEngine:
         (``freq_method``, default F3x4) computed from the *uncompressed*
         alignment.  ``incremental=True`` enables dirty-path CLV caching
         and cross-class subtree sharing on the binding (bit-identical to
-        full re-pruning; see :class:`BoundLikelihood`).
+        full re-pruning; see :class:`BoundLikelihood`).  ``batched``
+        selects the stacked-operator / level-order evaluation path
+        (``None`` → this engine's default: on for ``slim-v2``, off
+        elsewhere); also bit-identical.
         """
         if isinstance(data, PatternAlignment):
             patterns = data
@@ -302,6 +483,7 @@ class LikelihoodEngine:
         return BoundLikelihood(
             self, tree, patterns, model, np.asarray(pi, dtype=float),
             incremental=incremental,
+            batched=self.batched if batched is None else bool(batched),
         )
 
 
@@ -329,6 +511,12 @@ class BaselineEngine(LikelihoodEngine):
         n, n_patterns = shape
         self.counter.note_saved("clv:einsum-matvec", n_patterns * gemv_flops(n, n),
                                 reads=n_patterns * n * n)
+
+    def _note_saved_build(self, decomp) -> None:
+        if self.counter is not None:
+            n = decomp.n_states
+            self.counter.note_saved("expm:einsum(eq9)", gemm_flops(n, n, n),
+                                    reads=2 * gemm_matrix_reads(n, n))
 
 
 class SlimEngine(LikelihoodEngine):
@@ -383,6 +571,17 @@ class SlimEngine(LikelihoodEngine):
             self.counter.note_saved("clv:dgemv", n_patterns * gemv_flops(n, n),
                                     reads=n_patterns * n * n)
 
+    def _build_operator_stack(
+        self, decomp: SpectralDecomposition, ts: Sequence[float]
+    ) -> np.ndarray:
+        return stacked_syrk_operators(decomp, ts, counter=self.counter)
+
+    def _note_saved_build(self, decomp) -> None:
+        if self.counter is not None:
+            n = decomp.n_states
+            self.counter.note_saved("expm:dsyrk", syrk_flops(n, n),
+                                    reads=gemm_matrix_reads(n, n))
+
 
 class SlimV2Engine(LikelihoodEngine):
     """Eq. 12–13 + §III-B bundling: symmetric branch matrices, BLAS-3 CLVs.
@@ -396,6 +595,12 @@ class SlimV2Engine(LikelihoodEngine):
     name = "slim-v2"
     eigh_driver = "evr"
     bundled = True
+    default_batched = True
+    # The batched path memoizes class decompositions across evaluations,
+    # so during a fit's finite-difference gradient the decomposition
+    # tokens stay stable and a single-branch probe hits the transition
+    # cache on every *other* branch — the dominant win of DESIGN.md §10.
+    default_cache_transitions = True
 
     def __init__(self, *args, bundled: bool = True, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -455,6 +660,62 @@ class SlimV2Engine(LikelihoodEngine):
             self.counter.note_saved("clv:dsymv", n_patterns * symv_flops(n),
                                     reads=n_patterns * n * (n + 1) // 2)
 
+    def _build_operator_stack(
+        self, decomp: SpectralDecomposition, ts: Sequence[float]
+    ) -> np.ndarray:
+        return stacked_symmetric_operators(decomp, ts, counter=self.counter)
+
+    def _operator_from_view(self, view: np.ndarray, decomp) -> tuple:
+        return (view, decomp.pi)
+
+    def _operator_probability_matrix(self, operator: tuple) -> np.ndarray:
+        # P(t)·w = M·(Πw), column-wise: P = M·Π.
+        m, pi = operator
+        return m * pi[None, :]
+
+    def _note_saved_build(self, decomp) -> None:
+        if self.counter is not None:
+            n = decomp.n_states
+            self.counter.note_saved("expm:dsyrk(sym-branch)", syrk_flops(n, n),
+                                    reads=gemm_matrix_reads(n, n))
+
+    def _propagate_level(
+        self, items: Sequence[Tuple[object, np.ndarray]]
+    ) -> List[np.ndarray]:
+        """One fused level pass: shared Π-scale workspace, one output stack.
+
+        Distinct per-branch operators rule out a *single* ``dsymm`` for
+        the whole level (and at n = 61 a fused wide call is no faster —
+        BLAS is already at peak); what the level fuses is everything
+        around the kernels: one workspace allocation, one output stack,
+        one counter/stopwatch entry.  Each block is still the per-branch
+        arithmetic on identically-laid-out operands (``dsymm`` into an
+        F-contiguous column view with ``beta=0`` is bit-identical to a
+        standalone call), so results match :meth:`_propagate` bit for
+        bit.
+        """
+        if not self.bundled or len(items) <= 1:
+            return [self._propagate(op, clv) for op, clv in items]
+        n, n_patterns = items[0][1].shape
+        k = len(items)
+        scaled = np.empty((n, n_patterns * k), order="F")
+        for i, (op, clv) in enumerate(items):
+            np.multiply(
+                op[1][:, None], clv, out=scaled[:, i * n_patterns : (i + 1) * n_patterns]
+            )
+        out = np.empty((n, n_patterns * k), order="F")
+        for i, (op, _) in enumerate(items):
+            block = slice(i * n_patterns, (i + 1) * n_patterns)
+            view = out[:, block]
+            res = dsymm(1.0, op[0], scaled[:, block], c=view,
+                        side=0, lower=0, overwrite_c=1)
+            if res is not view and not np.shares_memory(res, view):  # pragma: no cover
+                view[...] = res
+        if self.counter is not None:
+            self.counter.add("clv:dsymm", k * symm_flops(n, n_patterns),
+                             reads=k * (n * (n + 1) // 2))
+        return [out[:, i * n_patterns : (i + 1) * n_patterns] for i in range(k)]
+
 
 class BoundLikelihood:
     """A (engine, tree, patterns, model) problem ready for evaluation.
@@ -495,6 +756,7 @@ class BoundLikelihood:
         model: CodonSiteModel,
         pi: np.ndarray,
         incremental: bool = False,
+        batched: bool = False,
     ) -> None:
         tree.validate_branch_lengths()
         if model.requires_foreground:
@@ -532,6 +794,20 @@ class BoundLikelihood:
         self._inc_values: Optional[Dict[str, float]] = None
         self._inc_lengths: Optional[np.ndarray] = None
         self._class_memo: Optional[Tuple[Dict[str, float], List[SiteClass], Dict]] = None
+
+        # Batched evaluation (stacked operators + level-order pruning,
+        # DESIGN.md §10); the level schedule is static per binding.
+        self.batched = bool(batched)
+        self._schedule: Optional[LevelSchedule] = None
+        # Leaf-branch contributions are pure functions of
+        # (decomposition token, t, leaf): the leaf CLV never changes and
+        # tokens are process-unique, so a hit is bit-identical to
+        # recomputation.  LRU-bounded; ~n_patterns·n_states·8 bytes per
+        # entry.
+        self._leaf_contrib_memo: "OrderedDict[Tuple[int, float, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._leaf_contrib_cap = max(256, 16 * len(self._leaf_clvs))
 
     def set_incremental(self, enabled: bool) -> None:
         """Toggle incremental evaluation, dropping any cached state."""
@@ -579,7 +855,7 @@ class BoundLikelihood:
         classes = self.model.site_classes(values)
         matrices = build_class_matrices(values["kappa"], classes, self.pi, self.engine.code)
         decomps = {omega: self.engine._decompose(m) for omega, m in matrices.items()}
-        if self.incremental:
+        if self.incremental or self.batched:
             self._class_memo = (dict(values), classes, decomps)
         return classes, decomps
 
@@ -594,7 +870,10 @@ class BoundLikelihood:
         values: Dict[str, float],
         lengths: np.ndarray,
         touched: "Optional[object]" = None,
+        skip_zero: bool = False,
     ) -> Tuple[List, List[SiteClass]]:
+        if self.batched:
+            return self._evaluate_batched(values, lengths, touched, skip_zero)
         classes, decomps = self._classes_and_decomps(values)
         operator_memo: Dict[Tuple[float, float], object] = {}
 
@@ -713,6 +992,219 @@ class BoundLikelihood:
             self._inc_lengths = np.asarray(lengths, dtype=float).copy()
         return results, classes
 
+    # ------------------------------------------------------------------
+    # Batched evaluation (DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _level_schedule(self) -> LevelSchedule:
+        if self._schedule is None:
+            self._schedule = build_level_schedule(self._rows, self._n_nodes)
+        return self._schedule
+
+    def _skipped_class_result(self) -> PruningResult:
+        """Placeholder for a zero-weight class skipped without operators.
+
+        An all-zero root CLV maps to ``-inf`` per-pattern
+        log-likelihoods; :func:`logsumexp_weighted` masks zero-weight
+        rows out of its max shift, so splicing this row in is bitwise
+        neutral for the mixture.
+        """
+        n = self.engine.code.n_states
+        return PruningResult(
+            root_clv=np.zeros((n, self.n_patterns)),
+            log_scalers=np.zeros(self.n_patterns),
+        )
+
+    def _evaluate_batched(
+        self,
+        values: Dict[str, float],
+        lengths: np.ndarray,
+        touched: "Optional[object]",
+        skip_zero: bool,
+    ) -> Tuple[List[PruningResult], List[SiteClass]]:
+        """Stacked-operator, level-order evaluation of every site class.
+
+        Plans the exact branch set each class will recompute (replaying
+        the incremental recurrence), aggregates the distinct (ω, t)
+        operators those passes need, builds one stack per decomposition,
+        then prunes level by level.  Non-incremental bindings run the
+        same machinery over ephemeral per-evaluation states, which is
+        what lets full evaluations alias background-tied subtrees
+        (classes 0↔2a, 1↔2b) exactly like incremental ones — every
+        reused CLV is bit-identical to what recomputation would produce,
+        so results match the unbatched path bit for bit.
+        """
+        classes, decomps = self._classes_and_decomps(values)
+        rows = [
+            (child, parent, float(lengths[pos]), fg)
+            for child, parent, pos, fg in self._rows
+        ]
+        schedule = self._level_schedule()
+        engine = self.engine
+        guarded = engine.recovery is not None
+
+        def guard_for(cls: SiteClass):
+            if not guarded:
+                return None
+            return PruningGuard(
+                recorder=engine.events,
+                context={"site_class": cls.label, "engine": engine.name},
+            )
+
+        persist = self.incremental
+        commit = touched is None
+        full = True
+        dirty_children: set = set()
+        if persist and self._inc_values is not None and values == self._inc_values:
+            diff = np.flatnonzero(np.asarray(lengths, dtype=float) != self._inc_lengths)
+            dirty_children = {self._child_of_pos[int(p)] for p in diff}
+            full = False
+
+        # Plan: per-class evaluation mode plus the dirty set its pass
+        # will use — mirroring _evaluate_incremental's choices exactly.
+        plans: List[Tuple[SiteClass, str, Optional[int], Optional[set]]] = []
+        first_with_bg: Dict[float, int] = {}
+        for idx, cls in enumerate(classes):
+            if skip_zero and cls.proportion == 0.0:
+                plans.append((cls, "skip", None, None))
+                continue
+            base_idx = first_with_bg.get(cls.omega_background)
+            base_cls = classes[base_idx] if base_idx is not None else None
+            same_fg = (
+                base_cls is not None
+                and cls.omega_foreground == base_cls.omega_foreground
+            )
+            if base_idx is not None and (full or same_fg):
+                cls_dirty = set() if same_fg else set(self._fg_children)
+                plans.append((cls, "derive", base_idx, cls_dirty))
+                continue
+            state = self._inc_states.get(idx) if persist else None
+            if full or state is None or not state.ready:
+                plans.append((cls, "populate", None, None))
+            else:
+                plans.append((cls, "incremental", None, dirty_children))
+            first_with_bg.setdefault(cls.omega_background, idx)
+
+        # Aggregate the distinct (ω, t) operators those passes will ask
+        # for; duplicate requests (background-tied classes, equal branch
+        # lengths) are built once and ledgered as saved builds.
+        requested: Dict[float, List[float]] = {}
+        seen: set = set()
+        for cls, mode, _, cls_dirty in plans:
+            if mode == "skip":
+                continue
+            recompute = None if mode == "populate" else cls_dirty
+            for ri in compute_recompute_rows(rows, recompute):
+                child, parent, t, fg = rows[ri]
+                omega = cls.omega_foreground if fg else cls.omega_background
+                key = (omega, t)
+                if key in seen:
+                    engine._note_saved_build(decomps[omega])
+                    continue
+                seen.add(key)
+                requested.setdefault(omega, []).append(t)
+
+        opsets = {
+            omega: engine.operator_set_for(decomps[omega], ts)
+            for omega, ts in requested.items()
+        }
+
+        def factory_for(cls: SiteClass):
+            fg_set = opsets.get(cls.omega_foreground)
+            bg_set = opsets.get(cls.omega_background)
+
+            def transition(t: float, foreground: bool) -> object:
+                return (fg_set if foreground else bg_set).operators[t]
+
+            return transition
+
+        n_leaves = len(self._leaf_clvs)
+        memo = self._leaf_contrib_memo
+        memo_cap = self._leaf_contrib_cap
+        stopwatch = engine.stopwatch
+
+        def propagate_for(cls: SiteClass):
+            # A leaf branch's contribution M(ω, t) · (Π · leaf_clv) is a
+            # pure function of (decomposition token, t, leaf): leaf CLVs
+            # are constant and tokens process-unique, so a memo hit is
+            # bit-identical to recomputation (and during a gradient's
+            # single-coordinate probes nearly every leaf branch hits).
+            fg_tok = getattr(decomps[cls.omega_foreground], "token", None)
+            bg_tok = getattr(decomps[cls.omega_background], "token", None)
+
+            def propagate_level(items):
+                contributions: List[Optional[np.ndarray]] = [None] * len(items)
+                misses: List[Tuple[int, Optional[tuple], object, np.ndarray]] = []
+                for j, (ri, op, clv) in enumerate(items):
+                    child, _, t, fg = rows[ri]
+                    key = None
+                    if child < n_leaves:
+                        tok = fg_tok if fg else bg_tok
+                        if tok is not None:
+                            key = (tok, t, child)
+                            hit = memo.get(key)
+                            if hit is not None:
+                                memo.move_to_end(key)
+                                contributions[j] = hit
+                                self._note_reuse(hit)
+                                continue
+                    misses.append((j, key, op, clv))
+                if misses:
+                    engine.clv_propagations += len(misses)
+                    start = time.perf_counter()
+                    outs = engine._propagate_level(
+                        [(op, clv) for _, _, op, clv in misses]
+                    )
+                    stopwatch.add("clv", time.perf_counter() - start)
+                    for (j, key, _, _), out in zip(misses, outs):
+                        contributions[j] = out
+                        if key is not None:
+                            memo[key] = out
+                    while len(memo) > memo_cap:
+                        memo.popitem(last=False)
+                return contributions
+
+            return propagate_level
+
+        try:
+            results: List[PruningResult] = []
+            new_states: Dict[int, PruningState] = {}
+            for idx, (cls, mode, base_idx, cls_dirty) in enumerate(plans):
+                if mode == "skip":
+                    results.append(self._skipped_class_result())
+                    continue
+                if mode == "derive":
+                    state = new_states[base_idx].derive()
+                    res = prune_site_class_batched(
+                        rows, schedule, self._leaf_clvs, factory_for(cls),
+                        propagate_for(cls), state, guard=guard_for(cls),
+                        dirty=cls_dirty, on_reuse=self._note_reuse,
+                    )
+                elif mode == "populate":
+                    state = PruningState.empty(self._n_nodes)
+                    res = prune_site_class_batched(
+                        rows, schedule, self._leaf_clvs, factory_for(cls),
+                        propagate_for(cls), state, guard=guard_for(cls),
+                    )
+                else:
+                    state = self._inc_states[idx]
+                    if not commit:
+                        state = state.derive()
+                    res = prune_site_class_batched(
+                        rows, schedule, self._leaf_clvs, factory_for(cls),
+                        propagate_for(cls), state, guard=guard_for(cls),
+                        dirty=cls_dirty, on_reuse=self._note_reuse,
+                    )
+                new_states[idx] = state
+                results.append(res)
+        except Exception:
+            self._invalidate_incremental()
+            raise
+        if persist and commit:
+            self._inc_states = new_states
+            self._inc_values = dict(values)
+            self._inc_lengths = np.asarray(lengths, dtype=float).copy()
+        return results, classes
+
     def log_likelihood(
         self,
         values: Dict[str, float],
@@ -736,7 +1228,9 @@ class BoundLikelihood:
             if branch_lengths is not None
             else self.branch_lengths
         )
-        results, classes = self._evaluate_classes(values, lengths, touched=touched)
+        results, classes = self._evaluate_classes(
+            values, lengths, touched=touched, skip_zero=True
+        )
         proportions = [c.proportion for c in classes]
         class_lnl = site_class_log_likelihoods(results, self.pi)
         if self.engine.recovery is not None:

@@ -39,7 +39,7 @@ same routines the paper links against.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 import scipy.linalg
@@ -59,6 +59,8 @@ __all__ = [
     "transition_matrix_syrk",
     "transition_matrix_scipy",
     "symmetric_branch_matrix",
+    "stacked_syrk_operators",
+    "stacked_symmetric_operators",
     "fill_symmetric_from_lower",
 ]
 
@@ -221,3 +223,147 @@ def symmetric_branch_matrix(
     if counter is not None:
         counter.add("expm:dsyrk(sym-branch)", syrk_flops(n, n), reads=gemm_matrix_reads(n, n))
     return fill_symmetric_from_lower(m_lower)
+
+
+# ---------------------------------------------------------------------------
+# Stacked (batched) operator builds
+#
+# All branch operators of one ω class share the decomposition, so the
+# whole batch can be laid out in one F-ordered n×(n·B) buffer whose
+# column block b is branch b's operator.  The O(n²) stages — the Ŷ
+# scaling, the triangle mirror, the Π^{±1/2} scalings, the clip — run
+# once as vectorised elementwise passes over the 3-D view
+# ``stack.T.reshape(B, n, n)`` (element (b, j, i) aliases stack[i, b·n+j],
+# i.e. slab b is operator b transposed).  The O(n³) stage stays one
+# ``dsyrk`` per F-contiguous column-block view: on this host a fused
+# wide GEMM is *not* faster (BLAS is already at peak at n = 61) and a
+# GEMM reformulation of the rank-k update could not be bit-identical to
+# the per-branch kernel.  Elementwise IEEE ops on identical operand
+# pairs are bitwise deterministic regardless of shape or strides, and a
+# dsyrk on an F-contiguous view has the same lda as a standalone call —
+# so every column block is bit-for-bit the per-branch kernel's output.
+# Only np.exp is layout-sensitive (SIMD path can differ by stride), so
+# the exponent vectors are computed per branch on 1-D arrays exactly as
+# :func:`_exp_eigenvalues` does.
+# ---------------------------------------------------------------------------
+
+
+def _exp_stack(eigenvalues: np.ndarray, ts: Sequence[float], half: bool) -> np.ndarray:
+    """Rows of ``exp(λ t_b)`` (or ``t_b/2``), bit-identical to the 1-D kernel.
+
+    The multiply and clamp are batched 2-D (elementwise ufuncs are
+    stride-insensitive, and IEEE multiplication commutes bitwise), but
+    ``np.exp`` must run on each contiguous 61-element row separately:
+    its SIMD kernel's scalar tail handling depends on an element's
+    position in the flattened buffer, so one exp over the (B, n) block
+    would differ in the last few ulps from the per-branch kernel.
+    """
+    scaled = np.array(
+        [0.5 * _validate_t(t) if half else _validate_t(t) for t in ts], dtype=float
+    )
+    args = scaled.reshape(-1, 1) * eigenvalues[None, :]
+    np.clip(args, -745.0, 40.0, out=args)
+    e = np.empty_like(args)
+    for b in range(args.shape[0]):
+        np.exp(args[b], out=e[b])
+    return e
+
+
+def _syrk_into_views(lower_stack: np.ndarray, y_stack: np.ndarray, n: int) -> None:
+    """One ``dsyrk`` per column-block view, writing in place.
+
+    ``lower_stack`` must be zero-initialised: BLAS only writes the lower
+    triangle, and the mirror stage reads the (zero) strict upper half —
+    exactly as the per-branch kernels do with scipy's zero-allocated
+    result array.
+    """
+    n_branches = y_stack.shape[1] // n
+    for b in range(n_branches):
+        view = lower_stack[:, b * n : (b + 1) * n]
+        res = dsyrk(1.0, y_stack[:, b * n : (b + 1) * n], c=view, lower=True, overwrite_c=1)
+        if res is not view and not np.shares_memory(res, view):  # pragma: no cover
+            view[...] = res
+
+
+def _mirror_stack(lower_stack: np.ndarray, n: int) -> np.ndarray:
+    """Vectorised :func:`fill_symmetric_from_lower` over all column blocks."""
+    n_branches = lower_stack.shape[1] // n
+    out = np.empty_like(lower_stack, order="F")
+    l3 = lower_stack.T.reshape(n_branches, n, n)
+    o3 = out.T.reshape(n_branches, n, n)
+    np.add(l3, l3.transpose(0, 2, 1), out=o3)
+    diag = np.einsum("bii->bi", o3)
+    diag *= 0.5
+    return out
+
+
+def _y_stack(scaled_x: np.ndarray, exps: np.ndarray, n: int) -> np.ndarray:
+    """``Y_b = scaled_x · diag(e_b)`` for all b, as one elementwise pass."""
+    n_branches = exps.shape[0]
+    y = np.empty((n, n * n_branches), order="F")
+    y3 = y.T.reshape(n_branches, n, n)
+    np.multiply(scaled_x.T[None, :, :], exps[:, :, None], out=y3)
+    return y
+
+
+def stacked_syrk_operators(
+    decomp: SpectralDecomposition,
+    ts: Sequence[float],
+    counter: Optional[FlopCounter] = None,
+    clip_negative: bool = True,
+) -> np.ndarray:
+    """Batched :func:`transition_matrix_syrk`: ``P(t_b)`` for every branch.
+
+    Returns an F-ordered ``(n, n·B)`` stack whose column block b equals
+    ``transition_matrix_syrk(decomp, ts[b])`` bit for bit.
+    """
+    n = decomp.n_states
+    if len(ts) == 0:
+        return np.empty((n, 0), order="F")
+    exps = _exp_stack(decomp.eigenvalues, ts, half=True)
+    y = _y_stack(decomp.eigenvectors, exps, n)
+    lower = np.zeros((n, n * len(ts)), order="F")
+    _syrk_into_views(lower, y, n)
+    if counter is not None:
+        counter.add(
+            "expm:dsyrk",
+            len(ts) * syrk_flops(n, n),
+            reads=len(ts) * gemm_matrix_reads(n, n),
+        )
+    stack = _mirror_stack(lower, n)
+    n_branches = len(ts)
+    s3 = stack.T.reshape(n_branches, n, n)
+    # _apply_pi_scalings, same operand order: (Π^{-1/2} z) first, then Π^{1/2}.
+    # In the (b, j, i) view the row scaling is axis 2, the column axis 1.
+    np.multiply(s3, decomp.inv_sqrt_pi[None, None, :], out=s3)
+    np.multiply(s3, decomp.sqrt_pi[None, :, None], out=s3)
+    if clip_negative:
+        np.maximum(stack, 0.0, out=stack)
+    return stack
+
+
+def stacked_symmetric_operators(
+    decomp: SpectralDecomposition,
+    ts: Sequence[float],
+    counter: Optional[FlopCounter] = None,
+) -> np.ndarray:
+    """Batched :func:`symmetric_branch_matrix`: ``M(t_b)`` for every branch.
+
+    Returns an F-ordered ``(n, n·B)`` stack whose column block b equals
+    ``symmetric_branch_matrix(decomp, ts[b])`` bit for bit.
+    """
+    n = decomp.n_states
+    if len(ts) == 0:
+        return np.empty((n, 0), order="F")
+    exps = _exp_stack(decomp.eigenvalues, ts, half=True)
+    scaled_x = decomp.inv_sqrt_pi[:, None] * decomp.eigenvectors
+    y = _y_stack(scaled_x, exps, n)
+    lower = np.zeros((n, n * len(ts)), order="F")
+    _syrk_into_views(lower, y, n)
+    if counter is not None:
+        counter.add(
+            "expm:dsyrk(sym-branch)",
+            len(ts) * syrk_flops(n, n),
+            reads=len(ts) * gemm_matrix_reads(n, n),
+        )
+    return _mirror_stack(lower, n)

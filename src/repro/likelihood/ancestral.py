@@ -18,8 +18,11 @@ their exact *posterior* weights ``P(class | data)`` (from
 :func:`repro.likelihood.mixture.class_posteriors`), which keeps the
 cross-class magnitudes correct without tracking scale factors.
 
-Engine-independent: transition matrices are built with the syrk kernel
-directly (this is a post-fit analysis, not a benchmarked path).
+Transition matrices come from the bound engine's operator layer
+(:meth:`LikelihoodEngine._operator_for`), so a reconstruction run right
+after a fit is served from the LRU operator cache the fit already warmed
+— and its hits/misses show up in ``cache_stats()`` like any other
+evaluation's.
 """
 
 from __future__ import annotations
@@ -29,8 +32,6 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.eigen import decompose
-from repro.core.expm import transition_matrix_syrk
 from repro.models.scaling import build_class_matrices
 
 __all__ = ["AncestralReconstruction", "marginal_reconstruction"]
@@ -106,9 +107,10 @@ def marginal_reconstruction(
         else bound.branch_lengths
     )
     model = bound.model
+    engine = bound.engine
     classes = model.site_classes(values)
-    matrices = build_class_matrices(values["kappa"], classes, pi, bound.engine.code)
-    decomps = {omega: decompose(matrix) for omega, matrix in matrices.items()}
+    matrices = build_class_matrices(values["kappa"], classes, pi, engine.code)
+    decomps = {omega: engine._decompose(matrix) for omega, matrix in matrices.items()}
 
     non_root = [n for n in tree.nodes if not n.is_root]
     pos_of = {n.index: k for k, n in enumerate(non_root)}
@@ -124,13 +126,17 @@ def marginal_reconstruction(
 
     class_post = class_posteriors(class_lnl, proportions)
 
-    p_cache: Dict[tuple, np.ndarray] = {}
+    # Dense P(t) per (ω, t), served through the engine's LRU operator
+    # cache (a fit immediately before this call leaves it warm).  The
+    # local memo only avoids re-densifying the same operator per column.
+    p_memo: Dict[tuple, np.ndarray] = {}
 
     def p_matrix(omega: float, t: float) -> np.ndarray:
         key = (omega, t)
-        if key not in p_cache:
-            p_cache[key] = transition_matrix_syrk(decomps[omega], t, clip_negative=False)
-        return p_cache[key]
+        if key not in p_memo:
+            op = engine._operator_for(decomps[omega], t)
+            p_memo[key] = engine._operator_probability_matrix(op)
+        return p_memo[key]
 
     internal_nodes = [n for n in tree.nodes if not n.is_leaf]
     joint = {n.index: np.zeros((n_states, n_patterns)) for n in internal_nodes}

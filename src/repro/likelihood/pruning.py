@@ -35,7 +35,16 @@ import numpy as np
 from repro.alignment.msa import AMBIGUOUS, MISSING, CodonAlignment
 from repro.core.recovery import PruningGuard
 
-__all__ = ["PruningResult", "PruningState", "build_leaf_clvs", "prune_site_class"]
+__all__ = [
+    "PruningResult",
+    "PruningState",
+    "LevelSchedule",
+    "build_leaf_clvs",
+    "build_level_schedule",
+    "compute_recompute_rows",
+    "prune_site_class",
+    "prune_site_class_batched",
+]
 
 #: Rescale a completed node's pattern column when its max falls below this.
 SCALE_THRESHOLD = 1e-70
@@ -46,6 +55,15 @@ Operator = object
 TransitionFactory = Callable[[float, bool], Operator]
 #: Engine hook: (operator, child_clv) → propagated contribution.
 Propagator = Callable[[Operator, np.ndarray], np.ndarray]
+#: Engine hook: list of (row_index, operator, child_clv) for one tree
+#: level → list of contributions, bit-identical to per-item
+#: :data:`Propagator` calls.  The row index lets the caller recognise a
+#: contribution it has already computed (e.g. the leaf-contribution
+#: memo in ``BoundLikelihood._evaluate_batched``) and serve it without
+#: re-running the kernel.
+LevelPropagator = Callable[
+    [List[Tuple[int, Operator, np.ndarray]]], List[np.ndarray]
+]
 
 
 @dataclass
@@ -429,6 +447,252 @@ def _prune_incremental(
             state.scalers[parent] = _complete_node(
                 node_clv, parent, scale_threshold, guard
             )
+
+    root_clv = state.clvs[state.root_index]
+    assert root_clv is not None
+    return PruningResult(
+        root_clv=root_clv, log_scalers=state.total_log_scalers(n_patterns)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Level-order (batched) pruning — DESIGN.md §10
+#
+# Branches are grouped by the height of their child node so one fused
+# propagation call (engine hook ``LevelPropagator``) serves every branch
+# of a level.  The two orderings that carry float semantics are kept
+# exactly as in the sequential pass: each parent multiplies its
+# children's contributions in branch-table row order, and the total
+# rescale vector is re-summed in the sequential pass's node completion
+# order — so the level-order result is bit-identical to
+# :func:`prune_site_class` with the same state/dirty arguments.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """Static level-order plan for one branch table.
+
+    Built once per binding (the topology never changes between
+    evaluations) by :func:`build_level_schedule`.  All lists are shared
+    and treated as immutable.
+    """
+
+    n_nodes: int
+    #: Per-node height: 0 at leaves, ``1 + max(child heights)`` inside.
+    heights: List[int]
+    #: Branch-table row indices grouped by child height, preserving row
+    #: order within each level.
+    levels: List[List[int]]
+    #: Internal nodes grouped by their own height; a node of height h is
+    #: completed after level h−1 is propagated and before level h is.
+    complete_at: List[List[int]]
+    #: Per-node children in branch-table row order.
+    children: List[List[int]]
+    #: Internal nodes in the order the sequential pass completes them
+    #: (ascending index of their last incoming branch row).
+    completion_order: List[int]
+    root_index: int
+
+
+def build_level_schedule(
+    branch_table: Sequence[Tuple[int, int, object, object]], n_nodes: int
+) -> LevelSchedule:
+    """Compute the :class:`LevelSchedule` of a post-ordered branch table."""
+    if not branch_table:
+        raise ValueError("cannot schedule an empty branch table")
+    children: List[List[int]] = [[] for _ in range(n_nodes)]
+    heights = [0] * n_nodes
+    last_row = [-1] * n_nodes
+    root_index = -1
+    for ri, (child, parent, _, _) in enumerate(branch_table):
+        children[parent].append(child)
+        if heights[child] + 1 > heights[parent]:
+            heights[parent] = heights[child] + 1
+        last_row[parent] = ri
+        root_index = parent
+    max_level = max(heights[child] for child, _, _, _ in branch_table)
+    levels: List[List[int]] = [[] for _ in range(max_level + 1)]
+    for ri, (child, _, _, _) in enumerate(branch_table):
+        levels[heights[child]].append(ri)
+    internal = [p for p in range(n_nodes) if children[p]]
+    completion_order = sorted(internal, key=lambda p: last_row[p])
+    complete_at: List[List[int]] = [
+        [] for _ in range(max(heights[p] for p in internal) + 1)
+    ]
+    for p in internal:
+        complete_at[heights[p]].append(p)
+    return LevelSchedule(
+        n_nodes=n_nodes,
+        heights=heights,
+        levels=levels,
+        complete_at=complete_at,
+        children=children,
+        completion_order=completion_order,
+        root_index=root_index,
+    )
+
+
+def compute_recompute_rows(
+    branch_table: Sequence[Tuple[int, int, object, object]],
+    dirty: Optional[Set[int]],
+) -> List[int]:
+    """Row indices the incremental recurrence recomputes for ``dirty``.
+
+    Replays exactly the recurrence of :func:`_prune_incremental` (a
+    branch is recomputed iff its child is dirty or its child's CLV
+    changed), so the batched evaluator can plan the operator set an
+    evaluation will need *before* pruning starts.  ``dirty=None`` means
+    every branch.
+    """
+    if dirty is None:
+        return list(range(len(branch_table)))
+    changed: Set[int] = set()
+    out: List[int] = []
+    for ri, (child, parent, _, _) in enumerate(branch_table):
+        if child in dirty or child in changed:
+            out.append(ri)
+            changed.add(parent)
+    return out
+
+
+def _complete_from_children(
+    state: PruningState,
+    parent: int,
+    kids: Sequence[int],
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+) -> None:
+    """Rebuild a node's CLV from stored contributions (row order) and rescale."""
+    node_clv = state.contributions[kids[0]].copy(order="K")
+    for kid in kids[1:]:
+        node_clv *= state.contributions[kid]
+    state.clvs[parent] = node_clv
+    state.scalers[parent] = _complete_node(node_clv, parent, scale_threshold, guard)
+
+
+def prune_site_class_batched(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    schedule: LevelSchedule,
+    leaf_clvs: Sequence[np.ndarray],
+    transition_factory: TransitionFactory,
+    propagate_level: LevelPropagator,
+    state: PruningState,
+    scale_threshold: float = SCALE_THRESHOLD,
+    guard: Optional[PruningGuard] = None,
+    dirty: Optional[Set[int]] = None,
+    on_reuse: Optional[Callable[[np.ndarray], None]] = None,
+) -> PruningResult:
+    """Level-order pruning pass over a :class:`PruningState`.
+
+    Bit-identical to :func:`prune_site_class` with the same ``state`` /
+    ``dirty`` / ``on_reuse`` arguments; see the section comment above
+    for the two order invariants that guarantee it.  The ``state`` is
+    required (batched mode is always stateful — non-incremental callers
+    pass an ephemeral state per evaluation): an unready state is
+    populated fully, a ready one updated via the dirty recurrence.
+    """
+    n_patterns = leaf_clvs[0].shape[1]
+    if state.ready:
+        return _prune_level_incremental(
+            branch_table, schedule, state, transition_factory, propagate_level,
+            scale_threshold, guard, dirty, on_reuse, n_patterns,
+        )
+    return _prune_level_populate(
+        branch_table, schedule, leaf_clvs, state, transition_factory,
+        propagate_level, scale_threshold, guard, n_patterns,
+    )
+
+
+def _prune_level_populate(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    schedule: LevelSchedule,
+    leaf_clvs: Sequence[np.ndarray],
+    state: PruningState,
+    transition_factory: TransitionFactory,
+    propagate_level: LevelPropagator,
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+    n_patterns: int,
+) -> PruningResult:
+    """Full level-order pass filling an empty :class:`PruningState`."""
+    for i in range(len(leaf_clvs)):
+        state.clvs[i] = leaf_clvs[i]
+    # The schedule's static lists are shared (never mutated after build).
+    state.children = schedule.children
+    state.completion_order = schedule.completion_order
+    state.root_index = schedule.root_index
+
+    n_phases = max(len(schedule.levels), len(schedule.complete_at))
+    for h in range(n_phases):
+        if h < len(schedule.complete_at):
+            for parent in schedule.complete_at[h]:
+                _complete_from_children(
+                    state, parent, schedule.children[parent], scale_threshold, guard
+                )
+        if h < len(schedule.levels):
+            rows = schedule.levels[h]
+            items = [
+                (ri,
+                 transition_factory(branch_table[ri][2], branch_table[ri][3]),
+                 state.clvs[branch_table[ri][0]])
+                for ri in rows
+            ]
+            contributions = propagate_level(items)
+            for ri, contribution in zip(rows, contributions):
+                state.contributions[branch_table[ri][0]] = contribution
+
+    state.ready = True
+    root_clv = state.clvs[state.root_index]
+    assert root_clv is not None
+    return PruningResult(
+        root_clv=root_clv, log_scalers=state.total_log_scalers(n_patterns)
+    )
+
+
+def _prune_level_incremental(
+    branch_table: Sequence[Tuple[int, int, float, bool]],
+    schedule: LevelSchedule,
+    state: PruningState,
+    transition_factory: TransitionFactory,
+    propagate_level: LevelPropagator,
+    scale_threshold: float,
+    guard: Optional[PruningGuard],
+    dirty: Optional[Set[int]],
+    on_reuse: Optional[Callable[[np.ndarray], None]],
+    n_patterns: int,
+) -> PruningResult:
+    """Dirty-path level-order pass over a ready :class:`PruningState`."""
+    dirty_children = dirty if dirty is not None else {c for c, _, _, _ in branch_table}
+    changed = bytearray(state.n_nodes)
+
+    n_phases = max(len(schedule.levels), len(schedule.complete_at))
+    for h in range(n_phases):
+        if h < len(schedule.complete_at):
+            for parent in schedule.complete_at[h]:
+                if changed[parent]:
+                    _complete_from_children(
+                        state, parent, state.children[parent], scale_threshold, guard
+                    )
+        if h < len(schedule.levels):
+            todo: List[int] = []
+            for ri in schedule.levels[h]:
+                child = branch_table[ri][0]
+                if child in dirty_children or changed[child]:
+                    todo.append(ri)
+                elif on_reuse is not None:
+                    on_reuse(state.contributions[child])
+            if todo:
+                items = [
+                    (ri,
+                     transition_factory(branch_table[ri][2], branch_table[ri][3]),
+                     state.clvs[branch_table[ri][0]])
+                    for ri in todo
+                ]
+                contributions = propagate_level(items)
+                for ri, contribution in zip(todo, contributions):
+                    state.contributions[branch_table[ri][0]] = contribution
+                    changed[branch_table[ri][1]] = 1
 
     root_clv = state.clvs[state.root_index]
     assert root_clv is not None

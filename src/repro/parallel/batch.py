@@ -191,9 +191,10 @@ def _run_gene(args: Tuple) -> GeneResult:
     """Worker entry point (module-level so it pickles).
 
     The payload is ``(job, engine_name, seed, max_iterations)`` with an
-    optional fifth ``recover`` flag and an optional sixth ``incremental``
-    flag (older 4-/5-tuples keep working — the journal-resume and
-    custom-worker seams rely on that).
+    optional fifth ``recover`` flag, an optional sixth ``incremental``
+    flag and an optional seventh ``batched`` override (older 4-/5-/6-
+    tuples keep working — the journal-resume and custom-worker seams
+    rely on that).
 
     Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
     owns error capture, classification and retries.
@@ -201,6 +202,7 @@ def _run_gene(args: Tuple) -> GeneResult:
     job, engine_name, seed, max_iterations = args[:4]
     recover = bool(args[4]) if len(args) > 4 else False
     incremental = bool(args[5]) if len(args) > 5 else False
+    batched = args[6] if len(args) > 6 else None
     tree = parse_newick(job.newick)
     if getattr(job, "fg_node", None) is not None:
         tree.mark_foreground(tree.nodes[job.fg_node])
@@ -209,7 +211,8 @@ def _run_gene(args: Tuple) -> GeneResult:
         engine_name, recovery=RecoveryConfig() if recover else None
     )
     test = fit_branch_site_test(
-        lambda model: engine.bind(tree, alignment, model, incremental=incremental),
+        lambda model: engine.bind(tree, alignment, model, incremental=incremental,
+                                  batched=batched),
         seed=seed,
         max_iterations=max_iterations,
         recovery=RecoveryPolicy() if recover else None,
@@ -247,6 +250,7 @@ def _build_shared_context(
     recover: bool,
     incremental: bool,
     max_iterations: int,
+    batched: Optional[bool] = None,
 ) -> Tuple[Dict, List[Tuple[int, int]]]:
     """Deduplicate batch state and precompute per-alignment derivations.
 
@@ -296,6 +300,7 @@ def _build_shared_context(
         "engine": engine,
         "recover": recover,
         "incremental": incremental,
+        "batched": batched,
         "max_iterations": max_iterations,
         "newicks": newicks,
         "alignments": alignments,
@@ -351,12 +356,13 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
         tree.mark_foreground(tree.nodes[fg_node])
     recover = bool(context["recover"])
     incremental = bool(context["incremental"])
+    batched = context.get("batched")  # absent in pre-batched contexts
     engine = make_engine(
         context["engine"], recovery=RecoveryConfig() if recover else None
     )
     test = fit_branch_site_test(
         lambda model: engine.bind(tree, patterns, model, pi=pi,
-                                  incremental=incremental),
+                                  incremental=incremental, batched=batched),
         seed=seed,
         max_iterations=int(context["max_iterations"]),
         recovery=RecoveryPolicy() if recover else None,
@@ -379,6 +385,7 @@ def analyze_genes(
     executor: Optional[Executor] = None,
     recover: bool = False,
     incremental: bool = False,
+    batched: Optional[bool] = None,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -427,6 +434,11 @@ def analyze_genes(
         model-A classes share background subtrees.  Bit-identical to the
         full re-pruning path; the reuse counters ride back on
         ``GeneResult.clv_stats``.
+    batched:
+        Override the stacked-operator / level-order evaluation path in
+        each worker (:meth:`LikelihoodEngine.bind` ``batched=``):
+        ``None`` keeps the engine default (on for ``slim-v2``, off
+        elsewhere).  Bit-identical to the per-branch path.
 
     Returns
     -------
@@ -460,7 +472,8 @@ def analyze_genes(
         # Default data plane: one broadcast context per batch, integer
         # indices per task (see module docstring).
         context, keys = _build_shared_context(
-            pending_jobs, engine, recover, incremental, max_iterations
+            pending_jobs, engine, recover, incremental, max_iterations,
+            batched=batched,
         )
         payloads = [
             (job.gene_id, ni, job.fg_node, ai, s)
@@ -470,13 +483,16 @@ def analyze_genes(
         # Custom-worker seam: the historical self-contained tuples.
         for job, s in zip(pending_jobs, payload_seeds):
             base: Tuple = (job, engine, s, max_iterations)
-            # Keep the historical 4-tuple when neither flag is set so
-            # custom workers written against it never see a surprise
-            # element; ``incremental`` rides sixth, after ``recover``.
-            if recover or incremental:
+            # Keep the historical 4-tuple when no flag is set so custom
+            # workers written against it never see a surprise element;
+            # ``incremental`` rides sixth after ``recover``, the
+            # ``batched`` override seventh.
+            if recover or incremental or batched is not None:
                 base = base + (recover,)
-            if incremental:
-                base = base + (True,)
+            if incremental or batched is not None:
+                base = base + (incremental,)
+            if batched is not None:
+                base = base + (bool(batched),)
             payloads.append(base)
 
     sink = ResultJournal(journal) if journal is not None else None
@@ -594,6 +610,7 @@ def scan_branches(
     executor: Optional[Executor] = None,
     recover: bool = False,
     incremental: bool = False,
+    batched: Optional[bool] = None,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -645,6 +662,7 @@ def scan_branches(
         executor=executor,
         recover=recover,
         incremental=incremental,
+        batched=batched,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

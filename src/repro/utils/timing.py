@@ -42,6 +42,12 @@ class Stopwatch:
             self.totals[label] = self.totals.get(label, 0.0) + elapsed
             self.counts[label] = self.counts.get(label, 0) + 1
 
+    def add(self, label: str, elapsed: float) -> None:
+        """Record one pre-measured interval (cheaper than :meth:`measure`
+        in per-call hot loops — no context-manager machinery)."""
+        self.totals[label] = self.totals.get(label, 0.0) + elapsed
+        self.counts[label] = self.counts.get(label, 0) + 1
+
     def total(self, label: str) -> float:
         """Accumulated seconds for ``label`` (0.0 if never measured)."""
         return self.totals.get(label, 0.0)

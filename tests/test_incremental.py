@@ -323,8 +323,14 @@ def test_fit_model_incremental_identical_and_cheaper(
 ):
     eng_full = make_engine(engine_name)
     eng_inc = make_engine(engine_name)
-    b_full = eng_full.bind(small_tree, small_sim.alignment, h1_model)
-    b_inc = eng_inc.bind(small_tree, small_sim.alignment, h1_model, incremental=True)
+    # batched=False on both sides: batched mode aliases background-tied
+    # subtrees even in full evaluations, which is its own optimisation —
+    # this test isolates what the *incremental* layer saves over a plain
+    # full evaluation.
+    b_full = eng_full.bind(small_tree, small_sim.alignment, h1_model, batched=False)
+    b_inc = eng_inc.bind(
+        small_tree, small_sim.alignment, h1_model, incremental=True, batched=False
+    )
     fit_full = fit_model(b_full, seed=1, max_iterations=6)
     fit_inc = fit_model(b_inc, seed=1, max_iterations=6)
     assert fit_full.lnl == fit_inc.lnl
