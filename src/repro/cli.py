@@ -87,6 +87,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument("--internal-only", action="store_true",
                       help="scan internal branches only")
+    scan.add_argument(
+        "--model", default=None,
+        help="site-class model spec: 'branch-site-A' (default) or "
+             "'bsrel:K' for the 2K-class BS-REL family (e.g. bsrel:3)",
+    )
+    scan.add_argument(
+        "--survey", action="store_true",
+        help="emit the all-branches survey report: per-branch LRT with "
+             "Holm-corrected p-values (family-wise error control over "
+             "the whole scan)",
+    )
+    scan.add_argument("--alpha", type=float, default=0.05,
+                      help="family-wise significance level for --survey")
     scan.add_argument("--processes", type=int, default=1,
                       help="worker processes (1 = in-process)")
     scan.add_argument("--seed", type=int, default=1, help="start-value seed")
@@ -244,6 +257,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
     from repro.parallel.executors import make_executor
 
+    from repro.models.registry import resolve_model_spec
+
+    try:
+        # Fail a typo'd spec before any work is scheduled.
+        model_spec = resolve_model_spec(args.model).spec if args.model else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     alignment = read_alignment(args.seqfile)
     tree = _read_tree(args.treefile)
     gene_id = args.gene_id or os.path.splitext(os.path.basename(args.seqfile))[0]
@@ -329,6 +351,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             recover=args.recover,
             incremental=args.incremental,
             batched=args.batched,
+            model=model_spec,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.
@@ -341,16 +364,26 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
     resumed = [r.gene_id for r in scan.gene_results if r.gene_id not in computed_ids]
 
-    lines = [f"branch scan: {gene_id} ({scan.n_candidates} candidate branches)"]
-    lines.append("")
-    lines.append(f"{'branch':<16s} {'2*delta':>9s} {'p (chi2_1)':>12s}  verdict")
-    for label, lrt in sorted(scan.by_branch.items(), key=lambda kv: kv[1].pvalue_chi2):
-        verdict = "**SELECTED**" if lrt.significant() else ""
-        lines.append(
-            f"{label:<16s} {lrt.statistic:>9.3f} {lrt.pvalue_chi2:>12.4g}  {verdict}"
-        )
-    for label, failure in sorted(scan.failures.items()):
-        lines.append(f"{label:<16s} {'FAILED':>9s}  {failure.describe()}")
+    if args.survey:
+        from repro.io.report import format_survey_report
+
+        lines = [format_survey_report(
+            scan,
+            dataset_name=args.seqfile,
+            alpha=args.alpha,
+            model_spec=model_spec or "branch-site-A",
+        )]
+    else:
+        lines = [f"branch scan: {gene_id} ({scan.n_candidates} candidate branches)"]
+        lines.append("")
+        lines.append(f"{'branch':<16s} {'2*delta':>9s} {'p (chi2_1)':>12s}  verdict")
+        for label, lrt in sorted(scan.by_branch.items(), key=lambda kv: kv[1].pvalue_chi2):
+            verdict = "**SELECTED**" if lrt.significant() else ""
+            lines.append(
+                f"{label:<16s} {lrt.statistic:>9.3f} {lrt.pvalue_chi2:>12.4g}  {verdict}"
+            )
+        for label, failure in sorted(scan.failures.items()):
+            lines.append(f"{label:<16s} {'FAILED':>9s}  {failure.describe()}")
     recovered = [r for r in scan.gene_results if getattr(r, "recovered", False)]
     if recovered:
         from repro.core.recovery import FitDiagnostics

@@ -84,6 +84,7 @@ from repro.likelihood.pruning import (
     prune_site_class_batched,
 )
 from repro.models.base import CodonSiteModel, SiteClass
+from repro.models.class_graph import ClassPlan, SiteClassGraph
 from repro.models.scaling import build_class_matrices
 from repro.trees.tree import Tree
 from repro.utils.timing import Stopwatch
@@ -231,6 +232,14 @@ class LikelihoodEngine:
         #: applications served from incremental-state buffers instead.
         self.clv_propagations = 0
         self.clv_reuses = 0
+        #: Batched-mode operator ledger: distinct (ω, t) stacked builds
+        #: requested, duplicate requests deduped across classes, and the
+        #: per-class-independent baseline (what each class would build
+        #: with only its own operator memo, no graph edges).  The
+        #: N-class acceptance metric is ``1 − builds/naive``.
+        self.operator_builds = 0
+        self.operator_build_saves = 0
+        self.operator_builds_naive = 0
 
     # ------------------------------------------------------------------
     # Kernel hooks (overridden per engine)
@@ -435,6 +444,9 @@ class LikelihoodEngine:
             "transition_size": len(self._transition_cache),
             "clv_propagations": self.clv_propagations,
             "clv_reuses": self.clv_reuses,
+            "operator_builds": self.operator_builds,
+            "operator_build_saves": self.operator_build_saves,
+            "operator_builds_naive": self.operator_builds_naive,
         }
         if self._decomp_cache is not None:
             stats.update(
@@ -793,7 +805,7 @@ class BoundLikelihood:
         self._inc_states: Dict[int, PruningState] = {}
         self._inc_values: Optional[Dict[str, float]] = None
         self._inc_lengths: Optional[np.ndarray] = None
-        self._class_memo: Optional[Tuple[Dict[str, float], List[SiteClass], Dict]] = None
+        self._class_memo: Optional[Tuple[Dict[str, float], SiteClassGraph, Dict]] = None
 
         # Batched evaluation (stacked operators + level-order pruning,
         # DESIGN.md §10); the level schedule is static per binding.
@@ -840,24 +852,28 @@ class BoundLikelihood:
         self.branch_lengths = lengths.copy()
 
     # ------------------------------------------------------------------
-    def _classes_and_decomps(self, values: Dict[str, float]):
-        """Site classes + per-ω decompositions, memoised in incremental mode.
+    def _graph_and_decomps(self, values: Dict[str, float]):
+        """Site-class graph + per-ω decompositions, memoised when stateful.
 
-        Gradient probes of branch-length coordinates leave the model
-        values untouched, so rebuilding the rate matrices per probe would
-        dominate a dirty-path evaluation; one exact-value memo entry
-        (last values seen) removes that cost.  Non-incremental bindings
-        keep the historical per-evaluation rebuild bit-for-bit.
+        The graph carries the class nodes plus their derived sharing
+        edges (:mod:`repro.models.class_graph`); every evaluation mode
+        below consumes it instead of hard-coding the model-A class
+        shape.  Gradient probes of branch-length coordinates leave the
+        model values untouched, so rebuilding the rate matrices per
+        probe would dominate a dirty-path evaluation; one exact-value
+        memo entry (last values seen) removes that cost.
+        Non-incremental bindings keep the historical per-evaluation
+        rebuild bit-for-bit.
         """
         memo = self._class_memo
         if memo is not None and memo[0] == values:
             return memo[1], memo[2]
-        classes = self.model.site_classes(values)
-        matrices = build_class_matrices(values["kappa"], classes, self.pi, self.engine.code)
+        graph = self.model.site_class_graph(values)
+        matrices = build_class_matrices(values["kappa"], graph.nodes, self.pi, self.engine.code)
         decomps = {omega: self.engine._decompose(m) for omega, m in matrices.items()}
         if self.incremental or self.batched:
-            self._class_memo = (dict(values), classes, decomps)
-        return classes, decomps
+            self._class_memo = (dict(values), graph, decomps)
+        return graph, decomps
 
     def _note_reuse(self, contribution: np.ndarray) -> None:
         engine = self.engine
@@ -871,10 +887,10 @@ class BoundLikelihood:
         lengths: np.ndarray,
         touched: "Optional[object]" = None,
         skip_zero: bool = False,
-    ) -> Tuple[List, List[SiteClass]]:
+    ) -> Tuple[List, SiteClassGraph]:
         if self.batched:
             return self._evaluate_batched(values, lengths, touched, skip_zero)
-        classes, decomps = self._classes_and_decomps(values)
+        graph, decomps = self._graph_and_decomps(values)
         operator_memo: Dict[Tuple[float, float], object] = {}
 
         def factory_for(cls: SiteClass):
@@ -914,16 +930,21 @@ class BoundLikelihood:
                     rows, self._n_nodes, self._leaf_clvs, factory_for(cls), propagate,
                     guard=guard_for(cls),
                 )
-                for cls in classes
+                for cls in graph.nodes
             ]
-            return results, classes
+            return results, graph
         return self._evaluate_incremental(
-            values, lengths, classes, rows, factory_for, propagate, guard_for, touched
+            values, lengths, graph, rows, factory_for, propagate, guard_for, touched
         )
 
+    def _has_ready_state(self, idx: int) -> bool:
+        """Planner predicate: class ``idx`` has a committed pruning state."""
+        state = self._inc_states.get(idx)
+        return state is not None and state.ready
+
     def _evaluate_incremental(
-        self, values, lengths, classes, rows, factory_for, propagate, guard_for, touched
-    ) -> Tuple[List[PruningResult], List[SiteClass]]:
+        self, values, lengths, graph, rows, factory_for, propagate, guard_for, touched
+    ) -> Tuple[List[PruningResult], SiteClassGraph]:
         commit = touched is None
         full = True
         dirty_children: set = set()
@@ -932,51 +953,43 @@ class BoundLikelihood:
             dirty_children = {self._child_of_pos[int(p)] for p in diff}
             full = False
 
+        plans = graph.plan(full=full, has_state=self._has_ready_state)
         try:
             results: List[PruningResult] = []
             new_states: Dict[int, PruningState] = {}
-            first_with_bg: Dict[float, int] = {}
-            for idx, cls in enumerate(classes):
-                base_idx = first_with_bg.get(cls.omega_background)
-                base_cls = classes[base_idx] if base_idx is not None else None
-                same_fg = (
-                    base_cls is not None
-                    and cls.omega_foreground == base_cls.omega_foreground
-                )
-                if base_idx is not None and (full or same_fg):
-                    # Cross-class subtree sharing: every background
-                    # operator matches the base class, so subtrees not
-                    # containing the foreground branch have bit-identical
-                    # CLVs — alias them and re-prune only the
-                    # foreground-to-root path (nothing at all when the
-                    # foreground ω matches too, e.g. H0's 1↔2b).
-                    state = new_states[base_idx].derive()
-                    cls_dirty = set() if same_fg else set(self._fg_children)
+            for plan in plans:
+                idx, cls = plan.index, graph.nodes[plan.index]
+                if plan.mode == "derive":
+                    # Cross-class subtree sharing along a graph edge:
+                    # every background operator matches the base class,
+                    # so subtrees not containing the foreground branch
+                    # have bit-identical CLVs — alias them and re-prune
+                    # only the foreground-to-root path (nothing at all
+                    # on a full-share edge, e.g. H0's 1↔2b).
+                    state = new_states[plan.base].derive()
+                    cls_dirty = set() if plan.full_share else set(self._fg_children)
                     res = prune_site_class(
                         rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
                         propagate, guard=guard_for(cls), state=state,
                         dirty=cls_dirty, on_reuse=self._note_reuse,
                     )
+                elif plan.mode == "populate":
+                    state = PruningState.empty(self._n_nodes)
+                    res = prune_site_class(
+                        rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
+                        propagate, guard=guard_for(cls), state=state,
+                    )
                 else:
-                    state = self._inc_states.get(idx)
-                    if full or state is None or not state.ready:
-                        state = PruningState.empty(self._n_nodes)
-                        res = prune_site_class(
-                            rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
-                            propagate, guard=guard_for(cls), state=state,
-                        )
-                    else:
-                        if not commit:
-                            # Probe: evaluate against the base state via a
-                            # copy-on-write derivation, leave it untouched.
-                            state = state.derive()
-                        res = prune_site_class(
-                            rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
-                            propagate, guard=guard_for(cls), state=state,
-                            dirty=dirty_children, on_reuse=self._note_reuse,
-                        )
-                    if cls.omega_background not in first_with_bg:
-                        first_with_bg[cls.omega_background] = idx
+                    state = self._inc_states[idx]
+                    if not commit:
+                        # Probe: evaluate against the base state via a
+                        # copy-on-write derivation, leave it untouched.
+                        state = state.derive()
+                    res = prune_site_class(
+                        rows, self._n_nodes, self._leaf_clvs, factory_for(cls),
+                        propagate, guard=guard_for(cls), state=state,
+                        dirty=dirty_children, on_reuse=self._note_reuse,
+                    )
                 new_states[idx] = state
                 results.append(res)
         except Exception:
@@ -990,7 +1003,7 @@ class BoundLikelihood:
             self._inc_states = new_states
             self._inc_values = dict(values)
             self._inc_lengths = np.asarray(lengths, dtype=float).copy()
-        return results, classes
+        return results, graph
 
     # ------------------------------------------------------------------
     # Batched evaluation (DESIGN.md §10)
@@ -1020,20 +1033,21 @@ class BoundLikelihood:
         lengths: np.ndarray,
         touched: "Optional[object]",
         skip_zero: bool,
-    ) -> Tuple[List[PruningResult], List[SiteClass]]:
+    ) -> Tuple[List[PruningResult], SiteClassGraph]:
         """Stacked-operator, level-order evaluation of every site class.
 
-        Plans the exact branch set each class will recompute (replaying
-        the incremental recurrence), aggregates the distinct (ω, t)
-        operators those passes need, builds one stack per decomposition,
-        then prunes level by level.  Non-incremental bindings run the
-        same machinery over ephemeral per-evaluation states, which is
-        what lets full evaluations alias background-tied subtrees
-        (classes 0↔2a, 1↔2b) exactly like incremental ones — every
+        Plans the exact branch set each class will recompute (the class
+        graph replays the incremental recurrence), aggregates the
+        distinct (ω, t) operators those passes need, builds one stack
+        per decomposition, then prunes level by level.  Non-incremental
+        bindings run the same machinery over ephemeral per-evaluation
+        states, which is what lets full evaluations alias
+        background-tied subtrees along the graph's sharing edges (for
+        model A: 0↔2a, 1↔2b) exactly like incremental ones — every
         reused CLV is bit-identical to what recomputation would produce,
         so results match the unbatched path bit for bit.
         """
-        classes, decomps = self._classes_and_decomps(values)
+        graph, decomps = self._graph_and_decomps(values)
         rows = [
             (child, parent, float(lengths[pos]), fg)
             for child, parent, pos, fg in self._rows
@@ -1060,47 +1074,51 @@ class BoundLikelihood:
             full = False
 
         # Plan: per-class evaluation mode plus the dirty set its pass
-        # will use — mirroring _evaluate_incremental's choices exactly.
-        plans: List[Tuple[SiteClass, str, Optional[int], Optional[set]]] = []
-        first_with_bg: Dict[float, int] = {}
-        for idx, cls in enumerate(classes):
-            if skip_zero and cls.proportion == 0.0:
-                plans.append((cls, "skip", None, None))
-                continue
-            base_idx = first_with_bg.get(cls.omega_background)
-            base_cls = classes[base_idx] if base_idx is not None else None
-            same_fg = (
-                base_cls is not None
-                and cls.omega_foreground == base_cls.omega_foreground
-            )
-            if base_idx is not None and (full or same_fg):
-                cls_dirty = set() if same_fg else set(self._fg_children)
-                plans.append((cls, "derive", base_idx, cls_dirty))
-                continue
-            state = self._inc_states.get(idx) if persist else None
-            if full or state is None or not state.ready:
-                plans.append((cls, "populate", None, None))
-            else:
-                plans.append((cls, "incremental", None, dirty_children))
-            first_with_bg.setdefault(cls.omega_background, idx)
+        # will use — the graph planner mirrors _evaluate_incremental's
+        # choices exactly (skipped classes cannot anchor a sharing edge).
+        plans = graph.plan(
+            full=full,
+            has_state=self._has_ready_state if persist else None,
+            skip_zero=skip_zero,
+        )
+
+        def dirty_for(plan: ClassPlan) -> Optional[set]:
+            if plan.mode == "derive":
+                return set() if plan.full_share else set(self._fg_children)
+            if plan.mode == "incremental":
+                return dirty_children
+            return None
 
         # Aggregate the distinct (ω, t) operators those passes will ask
-        # for; duplicate requests (background-tied classes, equal branch
-        # lengths) are built once and ledgered as saved builds.
+        # for; duplicate requests (graph-edge-tied classes, equal branch
+        # lengths) are built once and ledgered as saved builds.  The
+        # naive ledger records the per-class-independent baseline — each
+        # class pruning its full (or dirty) row set with only its own
+        # operator memo, i.e. evaluation without the class graph's
+        # sharing edges — so ``1 − builds/naive`` is the dedupe saving.
         requested: Dict[float, List[float]] = {}
         seen: set = set()
-        for cls, mode, _, cls_dirty in plans:
-            if mode == "skip":
+        for plan in plans:
+            if plan.mode == "skip":
                 continue
-            recompute = None if mode == "populate" else cls_dirty
+            cls = graph.nodes[plan.index]
+            naive_keys = set()
+            for ri in compute_recompute_rows(rows, None if full else dirty_children):
+                child, parent, t, fg = rows[ri]
+                omega = cls.omega_foreground if fg else cls.omega_background
+                naive_keys.add((omega, t))
+            engine.operator_builds_naive += len(naive_keys)
+            recompute = None if plan.mode == "populate" else dirty_for(plan)
             for ri in compute_recompute_rows(rows, recompute):
                 child, parent, t, fg = rows[ri]
                 omega = cls.omega_foreground if fg else cls.omega_background
                 key = (omega, t)
                 if key in seen:
+                    engine.operator_build_saves += 1
                     engine._note_saved_build(decomps[omega])
                     continue
                 seen.add(key)
+                engine.operator_builds += 1
                 requested.setdefault(omega, []).append(t)
 
         opsets = {
@@ -1168,18 +1186,20 @@ class BoundLikelihood:
         try:
             results: List[PruningResult] = []
             new_states: Dict[int, PruningState] = {}
-            for idx, (cls, mode, base_idx, cls_dirty) in enumerate(plans):
-                if mode == "skip":
+            for plan in plans:
+                if plan.mode == "skip":
                     results.append(self._skipped_class_result())
                     continue
-                if mode == "derive":
-                    state = new_states[base_idx].derive()
+                idx, cls = plan.index, graph.nodes[plan.index]
+                cls_dirty = dirty_for(plan)
+                if plan.mode == "derive":
+                    state = new_states[plan.base].derive()
                     res = prune_site_class_batched(
                         rows, schedule, self._leaf_clvs, factory_for(cls),
                         propagate_for(cls), state, guard=guard_for(cls),
                         dirty=cls_dirty, on_reuse=self._note_reuse,
                     )
-                elif mode == "populate":
+                elif plan.mode == "populate":
                     state = PruningState.empty(self._n_nodes)
                     res = prune_site_class_batched(
                         rows, schedule, self._leaf_clvs, factory_for(cls),
@@ -1203,7 +1223,7 @@ class BoundLikelihood:
             self._inc_states = new_states
             self._inc_values = dict(values)
             self._inc_lengths = np.asarray(lengths, dtype=float).copy()
-        return results, classes
+        return results, graph
 
     def log_likelihood(
         self,
@@ -1228,20 +1248,19 @@ class BoundLikelihood:
             if branch_lengths is not None
             else self.branch_lengths
         )
-        results, classes = self._evaluate_classes(
+        results, graph = self._evaluate_classes(
             values, lengths, touched=touched, skip_zero=True
         )
-        proportions = [c.proportion for c in classes]
         class_lnl = site_class_log_likelihoods(results, self.pi)
         if self.engine.recovery is not None:
             check_finite_site_log_likelihoods(
                 class_lnl,
                 recorder=self.engine.events,
-                class_labels=[c.label for c in classes],
+                class_labels=list(graph.labels),
                 engine=self.engine.name,
             )
         lnl, _ = mixture_log_likelihood(
-            results, self.pi, proportions, self.patterns.weights, class_lnl=class_lnl
+            results, self.pi, graph.proportions, self.patterns.weights, class_lnl=class_lnl
         )
         self.n_evaluations += 1
         return lnl
@@ -1261,17 +1280,17 @@ class BoundLikelihood:
             if branch_lengths is not None
             else self.branch_lengths
         )
-        results, classes = self._evaluate_classes(values, lengths)
+        results, graph = self._evaluate_classes(values, lengths)
         class_lnl = site_class_log_likelihoods(results, self.pi)
         if self.engine.recovery is not None:
             check_finite_site_log_likelihoods(
                 class_lnl,
                 recorder=self.engine.events,
-                class_labels=[c.label for c in classes],
+                class_labels=list(graph.labels),
                 engine=self.engine.name,
             )
         self.n_evaluations += 1
-        return class_lnl, np.array([c.proportion for c in classes])
+        return class_lnl, graph.proportions
 
 
 _ENGINES = {

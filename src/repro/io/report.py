@@ -1,49 +1,86 @@
 """Results report writer (CodeML ``mlc``-style).
 
 Formats a complete branch-site analysis — both hypotheses, the LRT, the
-site-class table of paper Table I with estimated values, the fitted tree
-and (when provided) the empirical-Bayes positively selected sites — as a
-plain-text report a PAML user would recognise.
+site-class table rendered from the model's validated class graph, the
+fitted tree and (when provided) the empirical-Bayes positively selected
+sites — as a plain-text report a PAML user would recognise.  Also the
+all-branches survey table (``slimcodeml scan --survey``): per-branch
+LRT statistics with Holm-corrected p-values.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.models.base import CodonSiteModel
 from repro.optimize.beb import SiteProbabilities
+from repro.optimize.lrt import holm_correction
 from repro.optimize.ml import BranchSiteTest, FitResult
 from repro.trees.newick import write_newick
 from repro.trees.tree import Tree
 
-__all__ = ["format_report", "write_report", "format_fit_block"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.parallel.batch import BranchScanResult
+
+__all__ = [
+    "format_report",
+    "write_report",
+    "format_fit_block",
+    "format_survey_report",
+    "write_survey_report",
+]
 
 PathLike = Union[str, os.PathLike]
 _RULE = "=" * 72
 
 
-def _class_table(fit: FitResult) -> str:
-    """Render Table I with the fitted proportions and omegas."""
-    values = fit.values
-    omega0 = values["omega0"]
-    omega2 = values.get("omega2", 1.0)
-    p0, p1 = values["p0"], values["p1"]
-    total = p0 + p1
-    rows = [
-        ("0", p0, omega0, omega0),
-        ("1", p1, 1.0, 1.0),
-        ("2a", (1 - total) * p0 / total if total > 0 else 0.0, omega0, omega2),
-        ("2b", (1 - total) * p1 / total if total > 0 else 0.0, 1.0, omega2),
-    ]
+def _model_for_fit(fit: FitResult) -> CodonSiteModel:
+    """Reconstruct the fitted model from a result's parameter names.
+
+    ``FitResult`` carries values but not the model object; the
+    parameter-name signature identifies it.  Model A and BS-REL cover
+    every branch-site fit this report renders — callers with an exotic
+    model pass it to :func:`format_fit_block` explicitly.
+    """
+    from repro.models.branch_site import BranchSiteModelA
+    from repro.models.bsrel import BSRELModel
+
+    keys = set(fit.values)
+    if {"omega0", "p0", "p1"} <= keys:
+        return BranchSiteModelA(fix_omega2="omega2" not in keys)
+    n_weights = sum(1 for k in keys if k.startswith("p") and k[1:].isdigit())
+    if n_weights >= 2:
+        return BSRELModel(n_weights, fix_omega_fg="omega_fg" not in keys)
+    raise ValueError(f"cannot identify a site-class model from parameters {sorted(keys)}")
+
+
+def _class_table(fit: FitResult, model: Optional[CodonSiteModel] = None) -> str:
+    """Render the site-class table from the model's class graph.
+
+    Labels, weights and ω's come from the graph nodes — never from
+    hard-coded class names — so the table stays correct for any N-class
+    model and any class ordering.  Positive-selection classes (the ones
+    BEB reports on) are flagged with ``+``.
+    """
+    if model is None:
+        model = _model_for_fit(fit)
+    graph = model.site_class_graph(fit.values)
     lines = ["site class   proportion   background w   foreground w"]
-    for label, prop, bg, fg in rows:
-        lines.append(f"{label:<12s} {prop:>10.5f}   {bg:>12.5f}   {fg:>12.5f}")
+    for node in graph.nodes:
+        label = node.label + ("+" if node.positive else "")
+        lines.append(
+            f"{label:<12s} {node.proportion:>10.5f}   "
+            f"{node.omega_background:>12.5f}   {node.omega_foreground:>12.5f}"
+        )
     return "\n".join(lines)
 
 
-def format_fit_block(fit: FitResult, tree: Optional[Tree] = None) -> str:
+def format_fit_block(
+    fit: FitResult, tree: Optional[Tree] = None, model: Optional[CodonSiteModel] = None
+) -> str:
     """One hypothesis' results block."""
     lines = [
         f"Model: {fit.model_name}   engine: {fit.engine_name}",
@@ -58,7 +95,7 @@ def format_fit_block(fit: FitResult, tree: Optional[Tree] = None) -> str:
         lines.append(f"  {key:<8s} = {value:.6f}")
     lines.append(f"  tree length = {float(np.sum(fit.branch_lengths)):.6f}")
     lines.append("")
-    lines.append(_class_table(fit))
+    lines.append(_class_table(fit, model))
     if tree is not None:
         fitted = tree.copy()
         fitted.set_branch_lengths(fit.branch_lengths)
@@ -68,22 +105,35 @@ def format_fit_block(fit: FitResult, tree: Optional[Tree] = None) -> str:
     return "\n".join(lines)
 
 
+def _positive_label_phrase(fit: FitResult, model: Optional[CodonSiteModel]) -> str:
+    """Human-readable name for the positive-selection classes, e.g. ``2a/2b``."""
+    try:
+        if model is None:
+            model = _model_for_fit(fit)
+        labels = model.site_class_graph(fit.values).positive_labels
+    except (ValueError, KeyError):
+        labels = ()
+    return "/".join(labels) if labels else "positive"
+
+
 def format_report(
     test: BranchSiteTest,
     tree: Optional[Tree] = None,
     sites: Optional[SiteProbabilities] = None,
     dataset_name: str = "",
     threshold: float = 0.95,
+    models: Optional[tuple[CodonSiteModel, CodonSiteModel]] = None,
 ) -> str:
     """Full analysis report: H0 block, H1 block, LRT, selected sites."""
+    h0_model, h1_model = models if models is not None else (None, None)
     header = "SlimCodeML reproduction — branch-site test for positive selection"
     lines = [_RULE, header]
     if dataset_name:
         lines.append(f"dataset: {dataset_name}")
-    lines += [_RULE, "", "--- Null hypothesis (H0: omega2 = 1) " + "-" * 24, ""]
-    lines.append(format_fit_block(test.h0, tree))
+    lines += [_RULE, "", "--- Null hypothesis (H0: foreground w fixed) " + "-" * 16, ""]
+    lines.append(format_fit_block(test.h0, tree, h0_model))
     lines += ["", "--- Alternative hypothesis (H1) " + "-" * 29, ""]
-    lines.append(format_fit_block(test.h1, tree))
+    lines.append(format_fit_block(test.h1, tree, h1_model))
     lines += [
         "",
         "--- Likelihood ratio test " + "-" * 35,
@@ -98,12 +148,13 @@ def format_report(
         ),
     ]
     if sites is not None:
+        positive = _positive_label_phrase(test.h1, h1_model)
         lines += ["", f"--- {sites.method} positively selected sites " + "-" * 24, ""]
         selected = sites.selected_sites(threshold)
         if selected.size == 0:
             lines.append(f"no sites with posterior > {threshold}")
         else:
-            lines.append(f"codon sites with P(class 2a/2b) > {threshold}:")
+            lines.append(f"codon sites with P(class {positive}) > {threshold}:")
             for site in selected:
                 prob = sites.probabilities[site - 1]
                 stars = "**" if prob > 0.99 else "*"
@@ -118,7 +169,81 @@ def write_report(
     tree: Optional[Tree] = None,
     sites: Optional[SiteProbabilities] = None,
     dataset_name: str = "",
+    models: Optional[tuple[CodonSiteModel, CodonSiteModel]] = None,
 ) -> None:
     """Write :func:`format_report` output to ``destination``."""
     with open(destination, "w", encoding="utf-8") as handle:
-        handle.write(format_report(test, tree=tree, sites=sites, dataset_name=dataset_name) + "\n")
+        handle.write(
+            format_report(test, tree=tree, sites=sites, dataset_name=dataset_name, models=models)
+            + "\n"
+        )
+
+
+def format_survey_report(
+    scan: "BranchScanResult",
+    dataset_name: str = "",
+    alpha: float = 0.05,
+    model_spec: str = "",
+) -> str:
+    """All-branches survey table with Holm-corrected p-values.
+
+    One row per tested branch: the LRT statistic, the raw conservative
+    χ² p-value, the Holm-Bonferroni adjusted p-value over the whole
+    survey, and the verdict at family-wise level ``alpha``.  Branches
+    are sorted by raw p-value so the interesting ones lead.
+    """
+    branches = sorted(scan.by_branch)
+    header = "SlimCodeML reproduction — all-branches positive-selection survey"
+    lines = [_RULE, header]
+    if dataset_name:
+        lines.append(f"dataset: {dataset_name}")
+    if model_spec:
+        lines.append(f"model: {model_spec}")
+    lines += [_RULE, ""]
+    if not branches:
+        lines += ["no branches were tested", "", _RULE]
+        return "\n".join(lines)
+    raw = np.array([scan.by_branch[b].pvalue_chi2 for b in branches])
+    adjusted = holm_correction(raw)
+    order = np.argsort(raw, kind="stable")
+    lines.append(
+        f"{'branch':<24s} {'2*dlnL':>10s} {'p (chi2)':>12s} {'p (Holm)':>12s}   verdict"
+    )
+    n_selected = 0
+    for idx in order:
+        branch = branches[idx]
+        lrt = scan.by_branch[branch]
+        selected = adjusted[idx] < alpha
+        n_selected += selected
+        verdict = "POSITIVE SELECTION" if selected else "-"
+        lines.append(
+            f"{branch:<24s} {lrt.statistic:>10.4f} {raw[idx]:>12.4g} "
+            f"{adjusted[idx]:>12.4g}   {verdict}"
+        )
+    lines += [
+        "",
+        f"{n_selected} of {len(branches)} branches under positive selection "
+        f"(Holm-corrected, family-wise alpha = {alpha})",
+    ]
+    if scan.failures:
+        lines.append("")
+        lines.append(f"failed branches ({len(scan.failures)}):")
+        for branch, failure in sorted(scan.failures.items()):
+            lines.append(f"  {branch}: {failure.describe()}")
+    lines += ["", _RULE]
+    return "\n".join(lines)
+
+
+def write_survey_report(
+    destination: PathLike,
+    scan: "BranchScanResult",
+    dataset_name: str = "",
+    alpha: float = 0.05,
+    model_spec: str = "",
+) -> None:
+    """Write :func:`format_survey_report` output to ``destination``."""
+    with open(destination, "w", encoding="utf-8") as handle:
+        handle.write(
+            format_survey_report(scan, dataset_name=dataset_name, alpha=alpha, model_spec=model_spec)
+            + "\n"
+        )

@@ -43,8 +43,10 @@ SCHEMA_VERSION = 1
 #: resumable.  Version 2 added the header itself and per-record worker
 #: identity; version 3 added per-gene numerical-recovery ``diagnostics``;
 #: version 4 added per-gene incremental-evaluation ``clv_stats``;
-#: version 5 added ``setup_seconds`` (broadcast-context cold start).
-JOURNAL_VERSION = 5
+#: version 5 added ``setup_seconds`` (broadcast-context cold start);
+#: version 6 added the ``model`` spec string (``None``/absent = the
+#: historical branch-site model A — survey scans record which test ran).
+JOURNAL_VERSION = 6
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -204,6 +206,7 @@ def gene_result_to_dict(result) -> Dict:
         "diagnostics": getattr(result, "diagnostics", None),
         "clv_stats": getattr(result, "clv_stats", None),
         "setup_seconds": getattr(result, "setup_seconds", 0.0),
+        "model": getattr(result, "model", None),
     })
 
 
@@ -244,6 +247,7 @@ def gene_result_from_dict(payload: Dict):
         diagnostics=payload.get("diagnostics"),
         clv_stats=payload.get("clv_stats"),
         setup_seconds=float(payload.get("setup_seconds") or 0.0),
+        model=payload.get("model"),
     )
 
 

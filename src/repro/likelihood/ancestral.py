@@ -108,7 +108,10 @@ def marginal_reconstruction(
     )
     model = bound.model
     engine = bound.engine
-    classes = model.site_classes(values)
+    # The validated class graph, not a raw class list: reconstruction
+    # must mix exactly the classes (weights, labels, order) the fit used.
+    graph = model.site_class_graph(values)
+    classes = graph.nodes
     matrices = build_class_matrices(values["kappa"], classes, pi, engine.code)
     decomps = {omega: engine._decompose(matrix) for omega, matrix in matrices.items()}
 

@@ -9,6 +9,13 @@ where each ``L_{s,m}`` carries its own pruning scale factor, so the
 combination runs in log space via a weighted log-sum-exp.  The per-site,
 per-class likelihood matrix is also the input to the empirical Bayes
 site classification (:mod:`repro.optimize.beb`).
+
+The class structure — how many classes, their weights and labels —
+comes from the model's :class:`~repro.models.class_graph.SiteClassGraph`;
+this layer is N-class generic and guards its own boundary: negative or
+NaN mixture weights raise here instead of propagating as a garbage
+log-sum-exp that would only surface later as a non-finite-CLV recovery
+event.
 """
 
 from __future__ import annotations
@@ -27,6 +34,22 @@ __all__ = [
     "mixture_log_likelihood",
     "class_posteriors",
 ]
+
+
+def _check_weights(proportions: np.ndarray) -> None:
+    """Reject negative/NaN mixture weights before they enter a log-sum-exp.
+
+    ``logsumexp_weighted`` masks zero-weight rows but would happily fold
+    a negative or NaN weight into the sum, yielding a NaN (or worse, a
+    finite wrong number) attributed to pruning by the recovery layer.
+    """
+    bad = ~np.isfinite(proportions) | (proportions < 0.0)
+    if bad.any():
+        idx = [int(i) for i in np.nonzero(bad)[0]]
+        raise ValueError(
+            f"mixture weights must be finite and non-negative; "
+            f"class index(es) {idx} have {proportions[bad].tolist()}"
+        )
 
 
 def site_class_log_likelihoods(
@@ -101,6 +124,7 @@ def mixture_log_likelihood(
         raise ValueError(
             f"{class_lnl.shape[0]} pruning results but {proportions.shape[0]} proportions"
         )
+    _check_weights(proportions)
     per_pattern = logsumexp_weighted(class_lnl, proportions, axis=0)
     pattern_weights = np.asarray(pattern_weights, dtype=float)
     if pattern_weights.shape != per_pattern.shape:
@@ -117,6 +141,7 @@ def class_posteriors(
     :func:`site_class_log_likelihoods` evaluated at the MLEs.
     """
     proportions = np.asarray(proportions, dtype=float)
+    _check_weights(proportions)
     log_joint = class_lnl + np.log(np.where(proportions > 0, proportions, 1.0))[:, None]
     log_joint = np.where(proportions[:, None] > 0, log_joint, -np.inf)
     log_total = logsumexp_weighted(class_lnl, proportions, axis=0)

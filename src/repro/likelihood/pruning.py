@@ -23,6 +23,14 @@ state buffers.  The recomputation replays the *same* arithmetic in the
 branch-table row order, rescale vectors summed in node completion
 order), so incremental results are bit-identical to full re-pruning —
 see DESIGN.md §9 for the invalidation rules and the proof obligations.
+
+This layer is class-structure agnostic: which passes run, which states
+alias another class's buffers (via :meth:`PruningState.derive`), and
+which branch set is ``dirty`` are all decided above, by the planner on
+the model's :class:`~repro.models.class_graph.SiteClassGraph` — a
+sharing edge maps to ``derive()`` plus a foreground-path (or empty)
+dirty set, a changed branch length maps to that branch's
+root path.  See DESIGN.md §11.
 """
 
 from __future__ import annotations

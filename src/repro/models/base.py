@@ -14,26 +14,43 @@ likelihood-based evolutionary models" future-work point (§V-B).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.models.class_graph import SiteClassGraph
 
 __all__ = ["SiteClass", "CodonSiteModel"]
 
 
 @dataclass(frozen=True)
 class SiteClass:
-    """One mixture component: prior proportion and per-category ω."""
+    """One mixture component: prior proportion and per-category ω.
+
+    ``positive`` marks classes whose foreground ω may exceed 1 — the
+    classes BEB/NEB report on — so downstream consumers look the flag up
+    structurally instead of matching hard-coded labels or indices.
+    """
 
     label: str
     proportion: float
     omega_background: float
     omega_foreground: float
+    positive: bool = False
 
     def __post_init__(self) -> None:
+        # NaN fails both comparisons below (``not NaN <= 1`` is True) so a
+        # NaN proportion raises too; the explicit isfinite checks are for
+        # the ω values, where ``NaN < 0`` is silently False and a NaN
+        # would otherwise propagate into the rate matrices and only
+        # surface later as a non-finite-CLV recovery event.
         if not 0.0 <= self.proportion <= 1.0:
             raise ValueError(f"class {self.label!r} proportion {self.proportion} outside [0,1]")
+        if not (math.isfinite(self.omega_background) and math.isfinite(self.omega_foreground)):
+            raise ValueError(f"class {self.label!r} has a non-finite omega")
         if self.omega_background < 0 or self.omega_foreground < 0:
             raise ValueError(f"class {self.label!r} has a negative omega")
 
@@ -74,6 +91,17 @@ class CodonSiteModel:
     def site_classes(self, values: Dict[str, float]) -> List[SiteClass]:
         """Mixture components for the given parameter values."""
         raise NotImplementedError
+
+    def site_class_graph(self, values: Dict[str, float]) -> "SiteClassGraph":
+        """The validated class graph for the given parameter values.
+
+        Default: build the graph straight from :meth:`site_classes`.
+        Sharing edges are *derived* from operator identity (equal ω per
+        branch partition), so models never declare alias pairs by hand.
+        """
+        from repro.models.class_graph import SiteClassGraph
+
+        return SiteClassGraph.from_classes(self.site_classes(values))
 
     def default_start(self, rng: np.random.Generator | None = None) -> Dict[str, float]:
         """Reasonable start values, optionally jittered by ``rng``."""

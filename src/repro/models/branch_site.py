@@ -109,11 +109,13 @@ class BranchSiteModelA(CodonSiteModel):
         if not 0.0 < total < 1.0:
             raise ValueError(f"p0 + p1 = {total} must lie in (0, 1)")
         p2 = 1.0 - total
+        # 2a/2b are the classes whose foreground ω can exceed 1 — flagged
+        # structurally so BEB/NEB and reports need no label matching.
         return [
             SiteClass("0", p0, omega0, omega0),
             SiteClass("1", p1, 1.0, 1.0),
-            SiteClass("2a", p2 * p0 / total, omega0, omega2),
-            SiteClass("2b", p2 * p1 / total, 1.0, omega2),
+            SiteClass("2a", p2 * p0 / total, omega0, omega2, positive=True),
+            SiteClass("2b", p2 * p1 / total, 1.0, omega2, positive=True),
         ]
 
     def default_start(self, rng: RngLike = None) -> Dict[str, float]:

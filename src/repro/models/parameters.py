@@ -18,7 +18,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Transform", "PositiveTransform", "IntervalTransform", "simplex_pack", "simplex_unpack"]
+__all__ = [
+    "Transform",
+    "PositiveTransform",
+    "IntervalTransform",
+    "simplex_pack",
+    "simplex_unpack",
+    "stick_break_pack",
+    "stick_break_unpack",
+]
 
 # Unconstrained values are clipped to this range before exponentials so a
 # wild optimizer step cannot overflow to inf.
@@ -104,6 +112,42 @@ def simplex_unpack(x_total: float, x_split: float) -> tuple[float, float]:
     total = unit.to_constrained(x_total)
     split = unit.to_constrained(x_split)
     return total * split, total * (1.0 - split)
+
+
+def stick_break_pack(weights: "list[float] | tuple[float, ...]") -> "list[float]":
+    """Stick-breaking coordinates for K weights with ``sum(weights) < 1``.
+
+    Generalises :func:`simplex_pack` to any K: the first coordinate is
+    the logit of the total mass, each subsequent one the logit of the
+    next weight's share of what remains.  ``K = 2`` reproduces
+    ``simplex_pack`` exactly (same arithmetic, same order), which is
+    what keeps the 2-class BS-REL model bit-compatible with model A.
+    """
+    ws = [float(w) for w in weights]
+    total = sum(ws)
+    if not (all(w > 0.0 for w in ws) and total < 1.0):
+        raise ValueError(f"weights {ws} must be positive with sum < 1")
+    unit = IntervalTransform(0.0, 1.0)
+    coords = [unit.to_unconstrained(total)]
+    remaining = total
+    for w in ws[:-1]:
+        coords.append(unit.to_unconstrained(w / remaining))
+        remaining -= w
+    return coords
+
+
+def stick_break_unpack(coords: "list[float] | np.ndarray") -> "list[float]":
+    """Inverse of :func:`stick_break_pack` (K coords → K weights)."""
+    coords = [float(c) for c in coords]
+    unit = IntervalTransform(0.0, 1.0)
+    remaining = unit.to_constrained(coords[0])
+    ws = []
+    for c in coords[1:]:
+        share = unit.to_constrained(c)
+        ws.append(remaining * share)
+        remaining = remaining * (1.0 - share)
+    ws.append(remaining)
+    return ws
 
 
 def transform_array(values: np.ndarray, transform: Transform, to_unconstrained: bool) -> np.ndarray:

@@ -1,0 +1,71 @@
+"""Model-spec registry: string names ↔ H0/H1 hypothesis pairs.
+
+Scan payloads (``parallel/batch.py``) and the CLI carry the model as a
+plain spec string, so a coordinator can broadcast "which test to run"
+to workers without shipping model objects over the wire:
+
+* ``"branch-site-A"`` (aliases ``"bsA"``, ``"A"``) — the paper's 4-class
+  branch-site model A;
+* ``"bsrel:K"`` (e.g. ``"bsrel:3"``) — the 2K-class BS-REL family with
+  K base ω classes (:mod:`repro.models.bsrel`).
+
+``resolve_model_spec`` returns a :class:`ModelSpec` whose ``h0()`` /
+``h1()`` build fresh model instances per call — model objects hold
+per-hypothesis parameter layouts and must never be shared across jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from repro.models.base import CodonSiteModel
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.bsrel import BSRELModel
+
+__all__ = ["DEFAULT_MODEL_SPEC", "ModelSpec", "resolve_model_spec"]
+
+#: The historical default: model A, as every pre-survey scan ran it.
+DEFAULT_MODEL_SPEC = "branch-site-A"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A named H0/H1 pair, constructible from its wire string."""
+
+    spec: str
+    h0: Callable[[], CodonSiteModel]
+    h1: Callable[[], CodonSiteModel]
+
+    def pair(self) -> Tuple[CodonSiteModel, CodonSiteModel]:
+        return self.h0(), self.h1()
+
+
+_MODEL_A_ALIASES = {"branch-site-a", "bsa", "a", "model-a"}
+
+
+def resolve_model_spec(spec: "str | None") -> ModelSpec:
+    """Parse a model spec string (case-insensitive; ``None`` = default)."""
+    raw = DEFAULT_MODEL_SPEC if spec is None else str(spec).strip()
+    lowered = raw.lower()
+    if lowered in _MODEL_A_ALIASES:
+        return ModelSpec(
+            spec=DEFAULT_MODEL_SPEC,
+            h0=lambda: BranchSiteModelA(fix_omega2=True),
+            h1=lambda: BranchSiteModelA(fix_omega2=False),
+        )
+    if lowered.startswith("bsrel:"):
+        try:
+            k = int(lowered.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(f"malformed BS-REL spec {raw!r}; expected 'bsrel:K'") from None
+        if k < 2:
+            raise ValueError(f"BS-REL needs K >= 2 base classes, got {k}")
+        return ModelSpec(
+            spec=f"bsrel:{k}",
+            h0=lambda: BSRELModel(k, fix_omega_fg=True),
+            h1=lambda: BSRELModel(k, fix_omega_fg=False),
+        )
+    raise ValueError(
+        f"unknown model spec {raw!r}; use 'branch-site-A' or 'bsrel:K'"
+    )

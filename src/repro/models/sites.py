@@ -119,7 +119,7 @@ class M2aModel(CodonSiteModel):
         return [
             SiteClass("0", p0, omega0, omega0),
             SiteClass("1", p1, 1.0, 1.0),
-            SiteClass("2", p2, omega2, omega2),
+            SiteClass("2", p2, omega2, omega2, positive=True),
         ]
 
     def default_start(self, rng: RngLike = None) -> Dict[str, float]:

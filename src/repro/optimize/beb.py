@@ -28,8 +28,21 @@ from repro.utils.numerics import logsumexp_weighted
 
 __all__ = ["SiteProbabilities", "neb_site_probabilities", "beb_site_probabilities"]
 
-#: Site classes 2a and 2b are the positively-selected ones (Table I).
-_POSITIVE_CLASSES = (2, 3)
+
+def _positive_indices(bound: BoundLikelihood, values: Dict[str, float]) -> list:
+    """Positively-selected class indices from the model's class graph.
+
+    The graph's structural ``positive`` flags replace the old hard-coded
+    ``(2, 3)`` tuple (model A's 2a/2b) — any N-class model that marks
+    its selected classes works, in whatever order it lists them.
+    """
+    positive = list(bound.model.site_class_graph(values).positive_indices)
+    if not positive:
+        raise ValueError(
+            f"model {type(bound.model).__name__} declares no positively-selected "
+            "site classes; empirical Bayes has nothing to report on"
+        )
+    return positive
 
 
 @dataclass
@@ -64,7 +77,7 @@ def neb_site_probabilities(
     class_lnl, proportions = bound.site_class_matrix(values, branch_lengths)
     post = class_posteriors(class_lnl, proportions)
     per_site = bound.patterns.expand(post, axis=1)
-    positive = per_site[list(_POSITIVE_CLASSES), :].sum(axis=0)
+    positive = per_site[_positive_indices(bound, values), :].sum(axis=0)
     return SiteProbabilities(
         probabilities=positive, class_probabilities=per_site, method="NEB"
     )
@@ -140,7 +153,7 @@ def beb_site_probabilities(
             post += cell_weight * cell_post
 
     per_site = bound.patterns.expand(post, axis=1)
-    positive = per_site[list(_POSITIVE_CLASSES), :].sum(axis=0)
+    positive = per_site[_positive_indices(bound, values), :].sum(axis=0)
     return SiteProbabilities(
         probabilities=positive, class_probabilities=per_site, method="BEB"
     )

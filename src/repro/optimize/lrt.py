@@ -10,10 +10,12 @@ plain χ²₁ as a conservative test.  Both p-values are reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+import numpy as np
 import scipy.stats
 
-__all__ = ["LRTResult", "likelihood_ratio_test"]
+__all__ = ["LRTResult", "likelihood_ratio_test", "holm_correction"]
 
 
 @dataclass(frozen=True)
@@ -62,3 +64,31 @@ def likelihood_ratio_test(lnl_null: float, lnl_alternative: float, df: int = 1) 
         pvalue_chi2=pvalue_chi2,
         pvalue_mixture=pvalue_mixture,
     )
+
+
+def holm_correction(pvalues: Sequence[float]) -> np.ndarray:
+    """Holm-Bonferroni step-down adjusted p-values.
+
+    The multiple-testing correction for the all-branches survey (HyPhy's
+    BranchSiteREL reports the same): with ``m`` branch tests, the i-th
+    smallest raw p-value is multiplied by ``m − i``, running maxima
+    enforce monotonicity, and values are capped at 1.  Rejecting
+    adjusted p-values below α controls the family-wise error rate at α
+    under arbitrary dependence — strictly more powerful than plain
+    Bonferroni, never less.
+    """
+    p = np.asarray(pvalues, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"expected a 1-d p-value array, got shape {p.shape}")
+    if p.size == 0:
+        return p.copy()
+    if np.any(~np.isfinite(p)) or np.any(p < 0) or np.any(p > 1):
+        raise ValueError("p-values must be finite and within [0, 1]")
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    adjusted = np.empty(m, dtype=float)
+    running = 0.0
+    for rank, idx in enumerate(order):
+        running = max(running, (m - rank) * p[idx])
+        adjusted[idx] = min(1.0, running)
+    return adjusted

@@ -468,9 +468,15 @@ def fit_branch_site_test(
     share_start_lengths: bool = True,
     retry_degenerate_h1: bool = True,
     start_overrides: Optional[Dict[str, float]] = None,
+    models: "Optional[tuple[CodonSiteModel, CodonSiteModel]]" = None,
+    grid_search: Optional[bool] = None,
     **fit_kwargs,
 ) -> BranchSiteTest:
-    """Fit H0 and H1 of branch-site model A and run the LRT.
+    """Fit an H0/H1 branch-site pair and run the 1-df LRT.
+
+    Defaults to the paper's branch-site model A; any null/alternative
+    model pair sharing the branch-site structure (e.g. the BS-REL
+    family from ``repro.models.bsrel``) plugs in via ``models``.
 
     Parameters
     ----------
@@ -486,20 +492,33 @@ def fit_branch_site_test(
         start); both engines do the same, so comparisons stay fair.
     retry_degenerate_h1:
         When the H0 optimum is also a stationary point of H1 (e.g. the
-        class-2 proportion collapsed, making ω2 unidentifiable), the
-        warm-started H1 fit terminates immediately.  Mirroring PAML's
-        advice to try several initial ω values, a second H1 fit from the
-        model's default start is then run and the better optimum kept.
-        Both engines follow the identical rule, so comparisons stay fair.
+        selected proportion collapsed, making the foreground ω
+        unidentifiable), the warm-started H1 fit terminates immediately.
+        Mirroring PAML's advice to try several initial ω values, a
+        second H1 fit from the model's default start is then run and the
+        better optimum kept.  Both engines follow the identical rule, so
+        comparisons stay fair.
     start_overrides:
         Explicit start values overriding the seeded defaults (e.g. the
         control file's ``kappa``); keys outside a hypothesis' parameter
         set are ignored for that hypothesis.
+    models:
+        ``(h0_model, h1_model)`` instances; default is model A's pair.
+        The shared warm-start parameters are the intersection of the two
+        models' parameter names, in H0 order.
+    grid_search:
+        Run the model's ω-grid start-point search (``grid_start``)
+        before each hypothesis fit.  ``None`` (default) enables it
+        exactly for models that expose the hook (BS-REL), keeping model
+        A's historical start path bit-identical.
     """
     from repro.models.branch_site import BranchSiteModelA
 
-    h0_model = BranchSiteModelA(fix_omega2=True)
-    h1_model = BranchSiteModelA(fix_omega2=False)
+    if models is None:
+        h0_model: CodonSiteModel = BranchSiteModelA(fix_omega2=True)
+        h1_model: CodonSiteModel = BranchSiteModelA(fix_omega2=False)
+    else:
+        h0_model, h1_model = models
 
     def _with_overrides(model: CodonSiteModel, start: Dict[str, float]) -> Dict[str, float]:
         if start_overrides:
@@ -508,10 +527,21 @@ def fit_branch_site_test(
                     start[key] = float(value)
         return start
 
+    def _grid(model: CodonSiteModel, bound: BoundLikelihood, start: Dict[str, float]):
+        use_grid = (
+            hasattr(model, "grid_start") if grid_search is None else bool(grid_search)
+        )
+        if not use_grid:
+            return start
+        if not hasattr(model, "grid_start"):
+            raise ValueError(f"{model.name} does not support grid_search")
+        return model.grid_start(bound, start)
+
     bound0 = make_bound(h0_model)
+    h0_start = _with_overrides(h0_model, h0_model.default_start(make_rng(seed)))
     h0 = fit_model(
         bound0,
-        start_values=_with_overrides(h0_model, h0_model.default_start(make_rng(seed))),
+        start_values=_grid(h0_model, bound0, h0_start),
         seed=seed,
         max_iterations=max_iterations,
         method=method,
@@ -520,9 +550,11 @@ def fit_branch_site_test(
 
     bound1 = make_bound(h1_model)
     h1_start = _with_overrides(h1_model, h1_model.default_start(make_rng(seed)))
+    h1_start = _grid(h1_model, bound1, h1_start)
     # Warm-start the shared parameters from the H0 solution.
-    for key in ("kappa", "omega0", "p0", "p1"):
-        h1_start[key] = h0.values[key]
+    for key in h0_model.param_names:
+        if key in h1_model.param_names:
+            h1_start[key] = h0.values[key]
     if start_overrides and "kappa" in start_overrides and "kappa" in (
         fit_kwargs.get("fixed_params") or ()
     ):

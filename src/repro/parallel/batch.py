@@ -46,6 +46,7 @@ from repro.codon.frequencies import estimate_codon_frequencies
 from repro.core.engine import make_engine
 from repro.core.recovery import FitDiagnostics, RecoveryConfig, RecoveryPolicy
 from repro.io.results_io import ResultJournal
+from repro.models.registry import resolve_model_spec
 from repro.optimize.lrt import LRTResult, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
 from repro.parallel.executors.base import Executor
@@ -142,6 +143,11 @@ class GeneResult:
     #: legacy per-task payload path — the batch summary aggregates this
     #: as the fleet's cold-start cost.
     setup_seconds: float = 0.0
+    #: Model-spec string the worker fitted (see
+    #: :func:`repro.models.registry.resolve_model_spec`); ``None`` on
+    #: results from journals written before the field existed — readers
+    #: treat that as the model-A default.
+    model: Optional[str] = None
 
     @property
     def failed(self) -> bool:
@@ -192,9 +198,9 @@ def _run_gene(args: Tuple) -> GeneResult:
 
     The payload is ``(job, engine_name, seed, max_iterations)`` with an
     optional fifth ``recover`` flag, an optional sixth ``incremental``
-    flag and an optional seventh ``batched`` override (older 4-/5-/6-
-    tuples keep working — the journal-resume and custom-worker seams
-    rely on that).
+    flag, an optional seventh ``batched`` override and an optional
+    eighth ``model`` spec string (older 4-/5-/6-/7-tuples keep working —
+    the journal-resume and custom-worker seams rely on that).
 
     Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
     owns error capture, classification and retries.
@@ -203,6 +209,8 @@ def _run_gene(args: Tuple) -> GeneResult:
     recover = bool(args[4]) if len(args) > 4 else False
     incremental = bool(args[5]) if len(args) > 5 else False
     batched = args[6] if len(args) > 6 else None
+    model_spec = args[7] if len(args) > 7 else None
+    spec = resolve_model_spec(model_spec)
     tree = parse_newick(job.newick)
     if getattr(job, "fg_node", None) is not None:
         tree.mark_foreground(tree.nodes[job.fg_node])
@@ -216,12 +224,15 @@ def _run_gene(args: Tuple) -> GeneResult:
         seed=seed,
         max_iterations=max_iterations,
         recovery=RecoveryPolicy() if recover else None,
+        models=spec.pair(),
     )
-    return _assemble_result(job.gene_id, test, engine, incremental)
+    return _assemble_result(job.gene_id, test, engine, incremental,
+                            model=spec.spec)
 
 
 def _assemble_result(gene_id: str, test, engine, incremental: bool,
-                     setup_seconds: float = 0.0) -> GeneResult:
+                     setup_seconds: float = 0.0,
+                     model: Optional[str] = None) -> GeneResult:
     clv_stats = None
     if incremental:
         stats = engine.cache_stats()
@@ -241,6 +252,7 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
         diagnostics=_combine_diagnostics(test.h0.diagnostics, test.h1.diagnostics),
         clv_stats=clv_stats,
         setup_seconds=setup_seconds,
+        model=model,
     )
 
 
@@ -251,6 +263,7 @@ def _build_shared_context(
     incremental: bool,
     max_iterations: int,
     batched: Optional[bool] = None,
+    model: Optional[str] = None,
 ) -> Tuple[Dict, List[Tuple[int, int]]]:
     """Deduplicate batch state and precompute per-alignment derivations.
 
@@ -302,6 +315,7 @@ def _build_shared_context(
         "incremental": incremental,
         "batched": batched,
         "max_iterations": max_iterations,
+        "model": model,
         "newicks": newicks,
         "alignments": alignments,
     }
@@ -357,6 +371,7 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
     recover = bool(context["recover"])
     incremental = bool(context["incremental"])
     batched = context.get("batched")  # absent in pre-batched contexts
+    spec = resolve_model_spec(context.get("model"))  # absent in pre-spec contexts
     engine = make_engine(
         context["engine"], recovery=RecoveryConfig() if recover else None
     )
@@ -366,9 +381,10 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
         seed=seed,
         max_iterations=int(context["max_iterations"]),
         recovery=RecoveryPolicy() if recover else None,
+        models=spec.pair(),
     )
     return _assemble_result(gene_id, test, engine, incremental,
-                            setup_seconds=setup)
+                            setup_seconds=setup, model=spec.spec)
 
 
 def analyze_genes(
@@ -386,6 +402,7 @@ def analyze_genes(
     recover: bool = False,
     incremental: bool = False,
     batched: Optional[bool] = None,
+    model: Optional[str] = None,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -439,6 +456,11 @@ def analyze_genes(
         each worker (:meth:`LikelihoodEngine.bind` ``batched=``):
         ``None`` keeps the engine default (on for ``slim-v2``, off
         elsewhere).  Bit-identical to the per-branch path.
+    model:
+        Model-spec string resolved per worker through
+        :func:`repro.models.registry.resolve_model_spec` — e.g.
+        ``"bsrel:3"`` for the 6-class BS-REL test.  ``None`` keeps the
+        historical model-A default (bit-identical to it).
 
     Returns
     -------
@@ -473,7 +495,7 @@ def analyze_genes(
         # indices per task (see module docstring).
         context, keys = _build_shared_context(
             pending_jobs, engine, recover, incremental, max_iterations,
-            batched=batched,
+            batched=batched, model=model,
         )
         payloads = [
             (job.gene_id, ni, job.fg_node, ai, s)
@@ -486,13 +508,15 @@ def analyze_genes(
             # Keep the historical 4-tuple when no flag is set so custom
             # workers written against it never see a surprise element;
             # ``incremental`` rides sixth after ``recover``, the
-            # ``batched`` override seventh.
-            if recover or incremental or batched is not None:
+            # ``batched`` override seventh, the model spec eighth.
+            if recover or incremental or batched is not None or model is not None:
                 base = base + (recover,)
-            if incremental or batched is not None:
+            if incremental or batched is not None or model is not None:
                 base = base + (incremental,)
-            if batched is not None:
-                base = base + (bool(batched),)
+            if batched is not None or model is not None:
+                base = base + (None if batched is None else bool(batched),)
+            if model is not None:
+                base = base + (model,)
             payloads.append(base)
 
     sink = ResultJournal(journal) if journal is not None else None
@@ -611,6 +635,7 @@ def scan_branches(
     recover: bool = False,
     incremental: bool = False,
     batched: Optional[bool] = None,
+    model: Optional[str] = None,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -663,6 +688,7 @@ def scan_branches(
         recover=recover,
         incremental=incremental,
         batched=batched,
+        model=model,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

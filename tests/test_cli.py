@@ -104,6 +104,34 @@ class TestScan:
         assert "p (chi2_1)" in out
         assert "tasks" in out and "likelihood evaluations" in out  # summary block
 
+    def test_scan_survey_mode(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset, "--survey"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all-branches positive-selection survey" in out
+        assert "p (Holm)" in out
+        assert "family-wise alpha = 0.05" in out
+
+    def test_scan_survey_with_bsrel_model(self, tiny_dataset, tmp_path, capsys):
+        journal = tmp_path / "bsrel.jsonl"
+        rc = main(self._argv(
+            tiny_dataset, "--survey", "--model", "bsrel:2",
+            "--journal", str(journal),
+        ))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "model: bsrel:2" in out
+        # The journal records which model produced each branch's test.
+        from repro.io.results_io import ResultJournal
+
+        results = ResultJournal(str(journal)).load()
+        assert results and all(r.model == "bsrel:2" for r in results)
+
+    def test_scan_bad_model_spec_fails_fast(self, tiny_dataset, capsys):
+        rc = main(self._argv(tiny_dataset, "--model", "m8"))
+        assert rc == 2
+        assert "unknown model spec" in capsys.readouterr().err
+
     def test_scan_journal_and_resume(self, tiny_dataset, tmp_path, capsys):
         journal = tmp_path / "scan.jsonl"
         rc = main(self._argv(tiny_dataset, "--journal", str(journal)))

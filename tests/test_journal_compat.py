@@ -1,0 +1,130 @@
+"""Journal backward compatibility across committed schema versions.
+
+One fixture file per historical journal version (v2 added the header,
+v3 diagnostics, v4 clv_stats, v5 setup_seconds, v6 the model spec) plus
+the current version; the tolerant reader must load every one of them —
+that is the contract that lets a scan journalled by an old release
+resume on a new one.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.results_io import JOURNAL_VERSION, ResultJournal
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "data", "journals")
+VERSIONS = (2, 3, 4, 5, 6)
+
+
+def _fixture(version):
+    return os.path.join(FIXTURES, f"journal_v{version}.jsonl")
+
+
+class TestFixtureVersions:
+    def test_current_version_has_a_committed_fixture(self):
+        # Forces whoever bumps JOURNAL_VERSION to also commit the fixture
+        # (and extend VERSIONS) so the new layout stays covered forever.
+        assert JOURNAL_VERSION in VERSIONS
+        assert os.path.exists(_fixture(JOURNAL_VERSION))
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_header_declares_its_version(self, version):
+        with open(_fixture(version), encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["kind"] == "journal_header"
+        assert header["version"] == version
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_loads_every_record(self, version):
+        results = ResultJournal(_fixture(version)).load()
+        assert len(results) == 2
+        assert all(r.gene_id.startswith("gene1:") for r in results)
+        # The success common to every fixture round-trips its numerics.
+        ok = next(r for r in results if r.gene_id == "gene1:A")
+        assert not ok.failed
+        assert ok.lnl0 == -1042.5 and ok.lnl1 == -1039.25
+        assert ok.statistic == 6.5
+
+    @pytest.mark.parametrize("version", VERSIONS)
+    def test_completed_resumes_successes_only(self, version):
+        done = ResultJournal(_fixture(version)).completed()
+        assert "gene1:A" in done
+        assert all(not r.failed for r in done.values())
+
+    def test_v2_failure_record_restores_nan_and_failure(self):
+        results = ResultJournal(_fixture(2)).load()
+        failed = next(r for r in results if r.gene_id == "gene1:B")
+        assert failed.failed
+        assert math.isnan(failed.lnl0) and math.isnan(failed.pvalue)
+        assert failed.failure is not None
+        assert failed.failure.error_type == "ValueError"
+
+    def test_v3_diagnostics_survive(self):
+        results = ResultJournal(_fixture(3)).load()
+        diagnosed = next(r for r in results if r.gene_id == "gene1:A")
+        assert diagnosed.diagnostics["restarts"] == 1
+        assert diagnosed.diagnostics["boundary_flags"] == ["h1:omega2_upper"]
+
+    def test_v4_clv_stats_survive(self):
+        results = ResultJournal(_fixture(4)).load()
+        cached = next(r for r in results if r.gene_id == "gene1:A")
+        assert cached.clv_stats == {"propagations": 412, "reuses": 1888}
+
+    def test_v5_setup_seconds_survive(self):
+        results = ResultJournal(_fixture(5)).load()
+        warm = next(r for r in results if r.gene_id == "gene1:A")
+        assert warm.setup_seconds == 0.041
+
+    def test_v6_model_spec_survives(self):
+        results = ResultJournal(_fixture(6)).load()
+        by_id = {r.gene_id: r for r in results}
+        assert by_id["gene1:A"].model == "bsrel:3"
+        assert by_id["gene1:F"].model == "branch-site-A"
+
+    @pytest.mark.parametrize("version", VERSIONS[:-1])
+    def test_older_versions_default_model_to_none(self, version):
+        # Pre-v6 journals never recorded the model: readers see None and
+        # treat it as the historical model-A default.
+        for result in ResultJournal(_fixture(version)).load():
+            assert result.model is None
+
+
+class TestForwardGuards:
+    def test_newer_major_version_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "journal_header", "schema": 1, "version": JOURNAL_VERSION + 1})
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="newer"):
+            ResultJournal(path).load()
+
+    def test_unknown_record_kinds_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        with open(_fixture(JOURNAL_VERSION), encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines.insert(1, json.dumps({"kind": "survey_summary", "schema": 1, "holm": []}) + "\n")
+        path.write_text("".join(lines))
+        assert len(ResultJournal(path).load()) == 2
+
+    def test_roundtrip_rewrites_current_fixture_shape(self, tmp_path):
+        # A fresh journal written today must parse as the current version
+        # fixture does: append → load is the identity on the fields.
+        originals = ResultJournal(_fixture(JOURNAL_VERSION)).load()
+        path = tmp_path / "rewrite.jsonl"
+        with ResultJournal(path) as journal:
+            for result in originals:
+                journal.append(result)
+        with open(path, encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["version"] == JOURNAL_VERSION
+        reloaded = ResultJournal(path).load()
+        assert [r.gene_id for r in reloaded] == [r.gene_id for r in originals]
+        assert [r.model for r in reloaded] == [r.model for r in originals]
+        assert np.allclose(
+            [r.lnl1 for r in reloaded], [r.lnl1 for r in originals]
+        )
