@@ -56,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="start-value seed")
     run.add_argument("--max-iterations", type=int, default=None)
     run.add_argument("--beb", action="store_true", help="compute BEB site probabilities")
+    run.add_argument(
+        "--map", action="store_true",
+        help="sample posterior substitution histories at the H1 MLEs "
+             "(uniformization-based stochastic mapping) and report the "
+             "per-branch syn/nonsyn event table next to the BEB sites",
+    )
+    run.add_argument("--map-samples", type=int, default=16,
+                     help="posterior histories per site for --map")
     run.add_argument("--cleandata", action="store_true", help="drop columns with gaps")
     run.add_argument(
         "--incremental", action="store_true",
@@ -100,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument("--alpha", type=float, default=0.05,
                       help="family-wise significance level for --survey")
+    scan.add_argument(
+        "--map", action="store_true",
+        help="per tested branch, sample posterior substitution histories "
+             "at the H1 MLEs (uniformization-based stochastic mapping) "
+             "and report per-branch syn/nonsyn event tables",
+    )
+    scan.add_argument("--map-samples", type=int, default=16,
+                      help="posterior histories per site for --map")
     scan.add_argument("--processes", type=int, default=1,
                       help="worker processes (1 = in-process)")
     scan.add_argument("--seed", type=int, default=1, help="start-value seed")
@@ -237,8 +253,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             batched=args.batched,
         )
         sites = beb_site_probabilities(bound, test.h1.values, test.h1.branch_lengths)
+    mapping = None
+    if args.map:
+        from repro.likelihood.mapping import sample_substitution_mapping
 
-    report = format_report(test, tree=tree, sites=sites, dataset_name=seqfile)
+        bound = engine.bind(
+            tree, alignment, _h1_model(), freq_method=ctl.freq_method,
+            batched=args.batched,
+        )
+        mapping = sample_substitution_mapping(
+            bound, test.h1.values, branch_lengths=test.h1.branch_lengths,
+            n_samples=args.map_samples, seed=seed,
+        ).to_payload()
+
+    report = format_report(test, tree=tree, sites=sites, dataset_name=seqfile,
+                           mapping=mapping)
     if args.out == "-":
         print(report)
     else:
@@ -352,6 +381,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             incremental=args.incremental,
             batched=args.batched,
             model=model_spec,
+            map_samples=args.map_samples if args.map else None,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.
@@ -393,6 +423,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         for res in recovered:
             diag = FitDiagnostics.from_dict(res.diagnostics)
             lines.append(f"  {res.gene_id}: {diag.describe()}")
+    mapped = [r for r in scan.gene_results if getattr(r, "mapping", None)]
+    if mapped:
+        from repro.io.report import format_mapping_block
+
+        lines.append("")
+        lines.append("substitution mapping (per tested branch):")
+        for res in mapped:
+            lines.append(f"  {res.gene_id}:")
+            lines.append(format_mapping_block(res.mapping, indent="    "))
     lines.append("")
     summary = scan.summary(wall_seconds=wall, resumed_ids=resumed)
     if executor is not None and hasattr(executor, "wire_stats"):

@@ -76,6 +76,10 @@ class SpectralDecomposition:
         after garbage collection, so downstream caches (the engines'
         transition-matrix cache) can key on it without risking a stale
         hit from a recycled address.
+    rung:
+        Which ladder rung produced this decomposition — the eigh driver
+        name (``"evr"``/``"ev"``); feeds the engines' per-rung usage
+        counters (``cache_stats()['rung_*']``).
     """
 
     eigenvalues: np.ndarray
@@ -84,6 +88,7 @@ class SpectralDecomposition:
     sqrt_pi: np.ndarray
     inv_sqrt_pi: np.ndarray
     token: int = field(default_factory=lambda: next(_TOKENS))
+    rung: str = "evr"
 
     @property
     def n_states(self) -> int:
@@ -130,6 +135,7 @@ def decompose(
         pi=pi,
         sqrt_pi=sqrt_pi,
         inv_sqrt_pi=1.0 / sqrt_pi,
+        rung=driver,
     )
 
 
@@ -145,12 +151,21 @@ class PadeFallback:
     independent of the spectral path that just failed.
 
     Quacks like :class:`SpectralDecomposition` where the caches care:
-    it carries ``pi`` and a process-unique ``token``.
+    it carries ``pi`` and a process-unique ``token``.  ``ladder``
+    records why each eigensolver rung above was rejected — ``(driver,
+    reason)`` pairs — so a later ``ladder_exhausted`` event (rung 4
+    failing too) can report the *whole* failure history rather than
+    the last raw exception.
     """
 
     q: np.ndarray
     pi: np.ndarray
     token: int = field(default_factory=lambda: next(_TOKENS))
+    #: Why each eigh rung was rejected: tuple of (driver, reason) pairs.
+    ladder: tuple = ()
+
+    #: Ladder-rung identity (see ``SpectralDecomposition.rung``).
+    rung = "pade"
 
     @property
     def n_states(self) -> int:
@@ -182,11 +197,18 @@ def decompose_guarded(
        (``dsyevr``/MRRR for the slim engines);
     2. ``eigh(driver="ev")`` — the classic QR solver, skipped when it
        *is* the configured driver;
-    3. :class:`PadeFallback` — per-branch ``scipy.linalg.expm``.
+    3. :class:`PadeFallback` — per-branch ``scipy.linalg.expm``;
+    4. (operator-level, when ``config.uniformization``) the expm-free
+       uniformized kernel (:mod:`repro.core.uniformization`) — engaged
+       by the engines when a Padé-built ``P(t)`` fails its guard, so a
+       Padé residual failure degrades gracefully instead of raising
+       :class:`~repro.core.recovery.NumericalError`.
 
     A rung is rejected when LAPACK raises or when the reconstruction
     residual ``‖A − XΛXᵀ‖`` exceeds ``config.residual_tol`` (relative);
-    every rejection and every fallback is recorded on ``recorder``.
+    every rejection and every fallback is recorded on ``recorder``, and
+    the returned :class:`PadeFallback` carries the per-rung rejection
+    reasons on ``ladder`` for a potential ``ladder_exhausted`` report.
     """
     config = config if config is not None else RecoveryConfig()
     a = symmetrize(rate_matrix)
@@ -196,10 +218,12 @@ def decompose_guarded(
 
     ladder = [driver] + (["ev"] if driver != "ev" else [])
     ctx = {"kappa": float(rate_matrix.kappa), "omega": float(rate_matrix.omega)}
+    rejections = []
     for rung, drv in enumerate(ladder):
         try:
             eigenvalues, eigenvectors = scipy.linalg.eigh(a, driver=drv)
         except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError) as exc:
+            rejections.append((drv, f"raised {type(exc).__name__}: {exc}"))
             if recorder is not None:
                 recorder.record(
                     "eigh_failure", "eigen", f"eigh(driver={drv!r}) raised: {exc}",
@@ -208,6 +232,7 @@ def decompose_guarded(
             continue
         residual = _residual(a, eigenvalues, eigenvectors)
         if not np.isfinite(residual) or residual > config.residual_tol:
+            rejections.append((drv, f"residual {residual:.3e}"))
             if recorder is not None:
                 recorder.record(
                     "eigh_residual", "eigen",
@@ -231,13 +256,18 @@ def decompose_guarded(
             pi=pi,
             sqrt_pi=sqrt_pi,
             inv_sqrt_pi=1.0 / sqrt_pi,
+            rung=drv,
         )
     if recorder is not None:
         recorder.record(
             "eigh_fallback", "eigen", "pade",
             rung=len(ladder), **ctx,
         )
-    return PadeFallback(q=np.array(rate_matrix.q, dtype=float, copy=True), pi=pi)
+    return PadeFallback(
+        q=np.array(rate_matrix.q, dtype=float, copy=True),
+        pi=pi,
+        ladder=tuple(rejections),
+    )
 
 
 class DecompositionCache:

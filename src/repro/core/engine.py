@@ -53,12 +53,14 @@ from repro.core.expm import (
     transition_matrix_syrk,
 )
 from repro.core.recovery import (
+    NumericalError,
     NumericalEventRecorder,
     PruningGuard,
     RecoveryConfig,
     guard_symmetric_operator,
     guard_transition_matrix,
 )
+from repro.core.uniformization import UniformizedOperator
 from repro.core.flops import (
     FlopCounter,
     gemm_flops,
@@ -228,6 +230,14 @@ class LikelihoodEngine:
         self._transition_cache_size = transition_cache_size
         self.transition_hits = 0
         self.transition_misses = 0
+        #: Branch operators *built* (cache misses) per ladder rung that
+        #: served them: ``evr``/``ev`` (spectral), ``pade``,
+        #: ``uniformization``.  Feeds ``cache_stats()['rung_*']`` and,
+        #: through the batch layer, ``GeneResult.rung_usage``.
+        self.rung_usage: Dict[str, int] = {}
+        #: Rung 4 state: one reusable uniformized kernel per
+        #: decomposition token (powers of R shared across branch lengths).
+        self._uniformized: Dict[int, UniformizedOperator] = {}
         #: CLV propagations actually executed (all modes) and branch
         #: applications served from incremental-state buffers instead.
         self.clv_propagations = 0
@@ -344,16 +354,27 @@ class LikelihoodEngine:
         if stack is None:
             return BatchedOperatorSet({t: self._make_operator(decomp, t) for t in ts})
         n = decomp.n_states
+        replacements: Dict[float, object] = {}
         if self.recovery is not None:
             for b, t in enumerate(ts):
-                self._guard_operator(
-                    self._operator_from_view(stack[:, b * n : (b + 1) * n], decomp), t
-                )
+                view_op = self._operator_from_view(stack[:, b * n : (b + 1) * n], decomp)
+                try:
+                    self._guard_operator(view_op, t)
+                except NumericalError as exc:
+                    if not self.recovery.cross_check:
+                        raise
+                    # Stack views never alias each other, so one bad
+                    # branch can be replaced without touching the rest.
+                    replacements[t] = self._recover_operator(
+                        decomp, t, exc, path="spectral", failing=view_op
+                    )
         stack.setflags(write=False)
         operators = {
             t: self._operator_from_view(stack[:, b * n : (b + 1) * n], decomp)
             for b, t in enumerate(ts)
         }
+        operators.update(replacements)
+        self._note_rung(getattr(decomp, "rung", "evr"), len(ts) - len(replacements))
         return BatchedOperatorSet(operators, stack)
 
     def operator_set_for(self, decomp, ts: Sequence[float]) -> BatchedOperatorSet:
@@ -365,7 +386,7 @@ class LikelihoodEngine:
         back into the cache.
         """
         with self.stopwatch.measure("expm"):
-            if not self.cache_transition_matrices:
+            if not self._use_transition_cache(decomp):
                 return self.build_operator_set(decomp, ts)
             cached: Dict[float, object] = {}
             missing: List[float] = []
@@ -401,19 +422,158 @@ class LikelihoodEngine:
     def _make_operator(self, decomp, t: float) -> object:
         """Build (and, when recovery is on, guard) one branch operator."""
         if isinstance(decomp, PadeFallback):
-            p = transition_matrix_scipy(decomp.q, t)
-            if self.recovery is not None:
-                p = guard_transition_matrix(
-                    p, self.recovery, self.events, t=t, engine=self.name, path="pade"
-                )
+            try:
+                p = transition_matrix_scipy(decomp.q, t)
+                if self.recovery is not None:
+                    p = guard_transition_matrix(
+                        p, self.recovery, self.events, t=t, engine=self.name, path="pade"
+                    )
+            except (ValueError, ArithmeticError, np.linalg.LinAlgError, RuntimeWarning) as exc:
+                # Rung 4: a failed Padé residual check degrades to the
+                # uniformized kernel instead of a hard NumericalError
+                # (re-raised unchanged when rung 4 is disabled).
+                return self._recover_operator(decomp, t, exc, path="pade")
+            self._note_rung("pade")
             return self._wrap_probability_matrix(p, decomp.pi)
         op = self._build_operator(decomp, t)
         if self.recovery is not None:
-            op = self._guard_operator(op, t)
+            try:
+                op = self._guard_operator(op, t)
+            except NumericalError as exc:
+                if self.recovery.cross_check:
+                    # Opt-in: validate the failing spectral P(t) against
+                    # the uniformized witness and serve the witness.
+                    return self._recover_operator(decomp, t, exc, path="spectral",
+                                                  failing=op)
+                raise
+        self._note_rung(getattr(decomp, "rung", "evr"))
         return op
 
+    # ------------------------------------------------------------------
+    # Rung 4: uniformized recovery (DESIGN.md §13)
+    # ------------------------------------------------------------------
+    def _note_rung(self, rung: str, count: int = 1) -> None:
+        if count:
+            self.rung_usage[rung] = self.rung_usage.get(rung, 0) + count
+
+    def _uniformized_for(self, decomp) -> UniformizedOperator:
+        """The per-decomposition uniformized kernel (cached R powers)."""
+        uni = self._uniformized.get(decomp.token)
+        if uni is None:
+            q = decomp.q if isinstance(decomp, PadeFallback) else decomp.reconstruct_q()
+            tol = (
+                self.recovery.uniformization_tol if self.recovery is not None else 1e-12
+            )
+            uni = UniformizedOperator(q, decomp.pi, tol=tol)
+            self._uniformized[decomp.token] = uni
+        return uni
+
+    def _recover_operator(
+        self, decomp, t: float, exc: BaseException, path: str, failing: object = None
+    ) -> object:
+        """Serve one branch operator from the uniformized kernel (rung 4).
+
+        Called after ``path``'s P(t) failed its guard with ``exc``.
+        Records ``uniformization_fallback`` (plus the cross-check
+        attribution when enabled and a failing operator is at hand); if
+        the uniformized P(t) *also* fails, emits one structured
+        ``ladder_exhausted`` event carrying every rung's rejection
+        reason and raises a matching :class:`NumericalError` — never
+        the last rung's raw LAPACK/scipy exception.
+        """
+        rec = self.recovery
+        if rec is None or not rec.uniformization:
+            raise exc
+        history = [list(pair) for pair in getattr(decomp, "ladder", ())]
+        history.append([path, str(exc)])
+        try:
+            uni = self._uniformized_for(decomp)
+            p = uni.transition_matrix(t)
+            p = guard_transition_matrix(
+                p, rec, self.events, t=t, engine=self.name, path="uniformization"
+            )
+        except (ValueError, ArithmeticError, np.linalg.LinAlgError, RuntimeWarning) as last:
+            history.append(["uniformization", str(last)])
+            detail = "; ".join(f"{rung}: {why}" for rung, why in history)
+            if self.events is not None:
+                self.events.record(
+                    "ladder_exhausted", "expm", detail,
+                    t=float(t), engine=self.name, rungs_failed=len(history),
+                )
+            raise NumericalError(
+                f"every recovery rung failed for P(t={float(t):g}) — {detail}",
+                where="expm",
+                context={"t": float(t), "engine": self.name, "rungs": detail},
+            ) from last
+        if self.events is not None:
+            self.events.record(
+                "uniformization_fallback", "expm",
+                f"{path} P(t) guard failed ({exc}); served by uniformized kernel",
+                t=float(t), path=path, mu=float(uni.mu), engine=self.name,
+            )
+            if rec.cross_check and failing is not None:
+                self._cross_check(decomp, t, failing, p, path)
+        self._note_rung("uniformization")
+        return self._wrap_probability_matrix(p, decomp.pi)
+
+    def _cross_check(
+        self, decomp, t: float, failing: object, p_uni: np.ndarray, path: str
+    ) -> None:
+        """Attribute a guard failure: which path diverged from the witness?
+
+        Compares the failing path's dense P(t) — and, for a spectral
+        failure, an independently computed Padé P(t) — against the
+        uniformized result, recording one ``uniformization_cross_check``
+        event whose ``diverged`` context names every path beyond
+        ``cross_check_tol``.
+        """
+        rec = self.recovery
+        verdicts: List[Tuple[str, float]] = []
+        p_fail = np.asarray(self._operator_probability_matrix(failing), dtype=float)
+        dev = (
+            float(np.max(np.abs(p_fail - p_uni)))
+            if np.all(np.isfinite(p_fail))
+            else float("inf")
+        )
+        verdicts.append((path, dev))
+        if not isinstance(decomp, PadeFallback):
+            try:
+                p_pade = transition_matrix_scipy(decomp.reconstruct_q(), t)
+                dev_pade = (
+                    float(np.max(np.abs(p_pade - p_uni)))
+                    if np.all(np.isfinite(p_pade))
+                    else float("inf")
+                )
+            except (ValueError, ArithmeticError, np.linalg.LinAlgError, RuntimeWarning):
+                dev_pade = float("inf")
+            verdicts.append(("pade", dev_pade))
+        diverged = [name for name, d in verdicts if not d <= rec.cross_check_tol]
+        detail = "; ".join(
+            f"{name} {'diverged' if not d <= rec.cross_check_tol else 'agrees'}"
+            f" (max|dP|={d:.3e})"
+            for name, d in verdicts
+        )
+        ctx = {f"dev_{name}": d for name, d in verdicts}
+        self.events.record(
+            "uniformization_cross_check", "expm", detail,
+            t=float(t), diverged=",".join(diverged) or "none", **ctx,
+        )
+
+    def _use_transition_cache(self, decomp) -> bool:
+        """Whether ``decomp``'s operators should ride the LRU cache.
+
+        Padé-built operators always do, even when the engine's default
+        is off: each build is a full scipy ``expm`` (orders costlier
+        than a spectral rescale) and :class:`DecompositionCache` hands
+        back the *same* ``PadeFallback`` per (κ, ω) so its token is
+        exactly as probe-stable as a spectral one.  The same holds for
+        rung-4 results, which are keyed by the decomposition that
+        failed.
+        """
+        return self.cache_transition_matrices or isinstance(decomp, PadeFallback)
+
     def _operator_for(self, decomp: SpectralDecomposition, t: float) -> object:
-        if self.cache_transition_matrices:
+        if self._use_transition_cache(decomp):
             key = (decomp.token, float(t))
             op = self._transition_cache.get(key)
             if op is not None:
@@ -454,6 +614,8 @@ class LikelihoodEngine:
                 decomposition_misses=self._decomp_cache.misses,
                 decomposition_size=len(self._decomp_cache),
             )
+        for rung, count in self.rung_usage.items():
+            stats[f"rung_{rung}"] = count
         return stats
 
     # ------------------------------------------------------------------

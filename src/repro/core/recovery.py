@@ -33,6 +33,20 @@ Event taxonomy (``NumericalEvent.kind``)
 ``eigh_fallback``         decomposition served by a lower rung of the
                           ladder (``detail`` names the rung: ``ev`` or
                           ``pade``).
+``uniformization_fallback``  a branch operator whose Padé (or, in
+                          cross-check mode, spectral) ``P(t)`` failed
+                          its guard was served by the uniformized
+                          kernel instead — rung 4
+                          (:mod:`repro.core.uniformization`).
+``uniformization_cross_check``  cross-check mode compared the failing
+                          path's ``P(t)`` against the uniformized
+                          result; ``detail``/``context`` attribute
+                          which path diverged and by how much.
+``ladder_exhausted``      every rung — spectral, Padé *and* the
+                          uniformized kernel — failed for one branch
+                          operator; the single structured event carries
+                          the per-rung residuals/errors and the matching
+                          :class:`NumericalError` is raised.
 ``pt_negative_clamped``   P(t) entries below zero but within tolerance
                           were clamped.
 ``pt_row_renormalized``   P(t) row sums drifted beyond tolerance and the
@@ -217,12 +231,29 @@ class RecoveryConfig:
     #: P(t) entries below ``-negative_tol`` are a hard error; entries in
     #: ``[-negative_tol, 0)`` are clamped to zero.
     negative_tol: float = 1e-8
+    #: Rung 4: when a Padé-built branch ``P(t)`` fails its guard, degrade
+    #: gracefully to the uniformized kernel instead of raising
+    #: :class:`NumericalError`.  Only ever consulted *after* a guard
+    #: failure, so the healthy path stays bit-identical either way.
+    uniformization: bool = True
+    #: Poisson-tail truncation bound for the uniformized series.
+    uniformization_tol: float = 1e-12
+    #: Opt-in: on a *spectral* guard failure too, validate the failing
+    #: path against the uniformized ``P(t)``, record which path diverged
+    #: (``uniformization_cross_check``), and serve the uniformized
+    #: operator instead of raising.
+    cross_check: bool = False
+    #: Max-abs deviation from the uniformized ``P(t)`` above which a
+    #: cross-checked path is attributed as "diverged".
+    cross_check_tol: float = 1e-6
 
     def __post_init__(self) -> None:
         if self.residual_tol <= 0 or self.row_sum_tol <= 0 or self.negative_tol <= 0:
             raise ValueError("recovery tolerances must be positive")
         if self.row_sum_error <= self.row_sum_tol:
             raise ValueError("row_sum_error must exceed row_sum_tol")
+        if self.uniformization_tol <= 0 or self.cross_check_tol <= 0:
+            raise ValueError("recovery tolerances must be positive")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ __all__ = [
     "format_report",
     "write_report",
     "format_fit_block",
+    "format_mapping_block",
     "format_survey_report",
     "write_survey_report",
 ]
@@ -116,6 +117,51 @@ def _positive_label_phrase(fit: FitResult, model: Optional[CodonSiteModel]) -> s
     return "/".join(labels) if labels else "positive"
 
 
+def format_mapping_block(mapping: dict, max_sites: int = 10, indent: str = "") -> str:
+    """Render one task's substitution-mapping payload as an event table.
+
+    ``mapping`` is the journal payload from
+    :meth:`repro.likelihood.mapping.SubstitutionMapping.to_payload` (or
+    its ``{"error": ...}`` degradation).  One row per branch — expected
+    synonymous/non-synonymous events and their ratio (the event-count
+    analogue of dN/dS) — followed by the ``max_sites`` foreground sites
+    with the largest expected non-synonymous counts.
+    """
+    if "error" in mapping:
+        return f"{indent}mapping failed: {mapping['error']}"
+    lines = [
+        f"{indent}{'branch':<20s} {'fg':>2s} {'length':>8s} "
+        f"{'E[syn]':>8s} {'E[nonsyn]':>9s} {'N/S':>8s}"
+    ]
+    for row in mapping.get("branches", []):
+        ratio = row.get("ratio")
+        ratio_text = f"{ratio:>8.3f}" if ratio is not None else f"{'-':>8s}"
+        lines.append(
+            f"{indent}{row['branch']:<20s} {'#1' if row.get('foreground') else '':>2s} "
+            f"{row.get('length', 0.0):>8.4f} {row.get('syn', 0.0):>8.3f} "
+            f"{row.get('nonsyn', 0.0):>9.3f} {ratio_text}"
+        )
+    sites = mapping.get("foreground_sites") or {}
+    nonsyn = np.asarray(sites.get("nonsyn", []), dtype=float)
+    syn = np.asarray(sites.get("syn", []), dtype=float)
+    hot = np.nonzero(nonsyn > 0)[0]
+    if hot.size:
+        top = hot[np.argsort(nonsyn[hot], kind="stable")[::-1][:max_sites]]
+        lines.append(
+            f"{indent}foreground sites with sampled non-synonymous events "
+            f"(top {min(max_sites, hot.size)} of {hot.size}):"
+        )
+        for site in top:
+            lines.append(
+                f"{indent}  site {site + 1:>5d}   E[nonsyn]={nonsyn[site]:.3f}   "
+                f"E[syn]={syn[site] if site < syn.size else 0.0:.3f}"
+            )
+    samples = mapping.get("n_samples")
+    if samples:
+        lines.append(f"{indent}({samples} posterior histories per site)")
+    return "\n".join(lines)
+
+
 def format_report(
     test: BranchSiteTest,
     tree: Optional[Tree] = None,
@@ -123,8 +169,10 @@ def format_report(
     dataset_name: str = "",
     threshold: float = 0.95,
     models: Optional[tuple[CodonSiteModel, CodonSiteModel]] = None,
+    mapping: Optional[dict] = None,
 ) -> str:
-    """Full analysis report: H0 block, H1 block, LRT, selected sites."""
+    """Full analysis report: H0 block, H1 block, LRT, selected sites,
+    and (when sampled) the stochastic substitution-mapping event table."""
     h0_model, h1_model = models if models is not None else (None, None)
     header = "SlimCodeML reproduction — branch-site test for positive selection"
     lines = [_RULE, header]
@@ -159,6 +207,9 @@ def format_report(
                 prob = sites.probabilities[site - 1]
                 stars = "**" if prob > 0.99 else "*"
                 lines.append(f"  {site:>6d}   {prob:.4f} {stars}")
+    if mapping is not None:
+        lines += ["", "--- Substitution mapping (uniformization) " + "-" * 19, ""]
+        lines.append(format_mapping_block(mapping))
     lines += ["", _RULE]
     return "\n".join(lines)
 

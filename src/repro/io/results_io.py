@@ -45,8 +45,11 @@ SCHEMA_VERSION = 1
 #: version 4 added per-gene incremental-evaluation ``clv_stats``;
 #: version 5 added ``setup_seconds`` (broadcast-context cold start);
 #: version 6 added the ``model`` spec string (``None``/absent = the
-#: historical branch-site model A — survey scans record which test ran).
-JOURNAL_VERSION = 6
+#: historical branch-site model A — survey scans record which test ran);
+#: version 7 added ``rung_usage`` (per-ladder-rung operator-build
+#: counts when recovery ran) and ``mapping`` (stochastic substitution
+#: mapping payload from ``--map``) — both ``None``/absent when off.
+JOURNAL_VERSION = 7
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -207,6 +210,8 @@ def gene_result_to_dict(result) -> Dict:
         "clv_stats": getattr(result, "clv_stats", None),
         "setup_seconds": getattr(result, "setup_seconds", 0.0),
         "model": getattr(result, "model", None),
+        "rung_usage": getattr(result, "rung_usage", None),
+        "mapping": getattr(result, "mapping", None),
     })
 
 
@@ -248,6 +253,8 @@ def gene_result_from_dict(payload: Dict):
         clv_stats=payload.get("clv_stats"),
         setup_seconds=float(payload.get("setup_seconds") or 0.0),
         model=payload.get("model"),
+        rung_usage=payload.get("rung_usage"),
+        mapping=payload.get("mapping"),
     )
 
 

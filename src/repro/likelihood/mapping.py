@@ -1,0 +1,342 @@
+"""Stochastic substitution mapping via uniformization (``scan --map``).
+
+The branch-site test reports *that* positive selection acted on the
+foreground branch; stochastic mapping reports *how much substitution*
+that conclusion rests on.  Following Nielsen (2002) and the
+uniformization sampler of Irvahn & Minin (arXiv:1403.5040), we draw
+substitution histories from the posterior ``P(history | data, MLEs)``
+and summarise them as expected synonymous / non-synonymous counts per
+branch per site.
+
+One sample proceeds in four conditioned stages, each exact:
+
+1. **Site class** per alignment pattern, from the NEB posteriors
+   ``P(class | data)`` (:func:`repro.likelihood.mixture.class_posteriors`).
+2. **Node states**, jointly, top-down: the root from
+   ``π · L_root``, then each child from ``P(t)[parent, ·] · L_child``
+   — the inside vectors ``L`` make this the exact joint conditional,
+   and leaves with ambiguity resolve themselves because their inside
+   vector *is* the ambiguity indicator.
+3. **Jump count** ``N`` on each branch, endpoint-conditioned:
+   ``P(N = n | a, b, t) ∝ w_n(μt) · R^n[a, b]`` with the Poisson
+   weights ``w_n`` and jump matrix ``R`` of the branch generator's
+   :class:`~repro.core.uniformization.UniformizedOperator` (whose
+   cached powers ``R^n`` are shared with recovery rung 4).
+4. **Intermediate states** of the jump chain, left to right:
+   ``P(s_k = x | s_{k-1}, b) ∝ R[s_{k-1}, x] · R^{N-k}[x, b]``.
+
+Self-jumps of ``R`` are *virtual* (uniformization's bookkeeping) and
+are discarded; real changes are classified synonymous vs
+non-synonymous with the genetic code's pair table — single-nucleotide
+by construction, since ``R`` inherits ``Q``'s sparsity.
+
+Averaging over ``n_samples`` histories gives Rao-Blackwell-free Monte
+Carlo estimates of ``E[N_syn]``, ``E[N_nonsyn]`` per (branch, site);
+their ratio next to the BEB table localises the inferred selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codon.classify import classification_table
+from repro.models.scaling import build_class_matrices
+
+__all__ = ["SubstitutionMapping", "sample_substitution_mapping"]
+
+
+@dataclass
+class SubstitutionMapping:
+    """Posterior expected substitution counts per branch per site.
+
+    Attributes
+    ----------
+    branch_labels:
+        One label per non-root node (the node the branch leads *to*),
+        in the engine's branch-vector order.
+    foreground:
+        Per-branch foreground flags, same order.
+    branch_lengths:
+        The branch lengths the histories were sampled under.
+    syn / nonsyn:
+        ``(n_branches, n_sites)`` expected synonymous and
+        non-synonymous substitution counts (posterior means over the
+        sampled histories).
+    n_samples:
+        Histories averaged per site.
+    """
+
+    branch_labels: List[str]
+    foreground: List[bool]
+    branch_lengths: np.ndarray
+    syn: np.ndarray
+    nonsyn: np.ndarray
+    n_samples: int
+
+    @property
+    def n_branches(self) -> int:
+        return self.syn.shape[0]
+
+    @property
+    def n_sites(self) -> int:
+        return self.syn.shape[1]
+
+    def branch_totals(self) -> List[Dict[str, object]]:
+        """Per-branch event table: totals over sites plus the N/S ratio."""
+        rows = []
+        for b, label in enumerate(self.branch_labels):
+            s = float(self.syn[b].sum())
+            n = float(self.nonsyn[b].sum())
+            rows.append(
+                {
+                    "branch": label,
+                    "foreground": bool(self.foreground[b]),
+                    "length": float(self.branch_lengths[b]),
+                    "syn": s,
+                    "nonsyn": n,
+                    # Event-count analogue of dN/dS; None when no
+                    # synonymous events were sampled (ratio undefined).
+                    "ratio": (n / s) if s > 0.0 else None,
+                }
+            )
+        return rows
+
+    def to_payload(self) -> Dict[str, object]:
+        """Compact journal payload (v7 ``mapping`` field).
+
+        Per-branch totals always; the per-site table only for
+        foreground branches (summed), which is what the report renders
+        next to BEB — full per-branch-per-site matrices would bloat
+        the journal quadratically.
+        """
+        fg = np.asarray(self.foreground, dtype=bool)
+        fg_syn = self.syn[fg].sum(axis=0) if fg.any() else np.zeros(self.n_sites)
+        fg_nonsyn = self.nonsyn[fg].sum(axis=0) if fg.any() else np.zeros(self.n_sites)
+        return {
+            "n_samples": int(self.n_samples),
+            "branches": self.branch_totals(),
+            "foreground_sites": {
+                "syn": [round(float(x), 6) for x in fg_syn],
+                "nonsyn": [round(float(x), 6) for x in fg_nonsyn],
+            },
+        }
+
+
+def _sample_columns(weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One categorical draw per column of a non-negative ``(S, m)`` array."""
+    cum = np.cumsum(weights, axis=0)
+    totals = cum[-1]
+    safe = np.where(totals > 0.0, totals, 1.0)
+    u = rng.random(weights.shape[1]) * safe
+    idx = (cum < u[None, :]).sum(axis=0)
+    return np.minimum(idx, weights.shape[0] - 1)
+
+
+def _rescale_columns(matrix: np.ndarray) -> None:
+    col_max = matrix.max(axis=0)
+    safe = np.where(col_max > 0, col_max, 1.0)
+    matrix /= safe[None, :]
+
+
+def _sample_branch_events(
+    uni,
+    a: np.ndarray,
+    b: np.ndarray,
+    t: float,
+    syn_mask: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple:
+    """Endpoint-conditioned (syn, nonsyn) counts for one branch.
+
+    ``a``/``b`` are the sampled parent/child states per column; the
+    jump count and intermediate states come from ``uni``'s cached
+    powers (stages 3–4 of the module docstring).
+    """
+    m = a.shape[0]
+    syn_c = np.zeros(m)
+    nonsyn_c = np.zeros(m)
+    if uni.mu * t == 0.0:
+        return syn_c, nonsyn_c
+    weights = uni.jump_weights(t)
+    k_max = weights.shape[0] - 1
+    uni.power(k_max)  # extend the shared power cache once
+    contrib = np.empty((k_max + 1, m))
+    for n in range(k_max + 1):
+        contrib[n] = weights[n] * uni.power(n)[a, b]
+    cum = np.cumsum(contrib, axis=0)
+    totals = cum[-1]
+    safe = np.where(totals > 0.0, totals, 1.0)
+    u = rng.random(m) * safe
+    jumps = (cum < u[None, :]).sum(axis=0)
+    jumps = np.minimum(jumps, k_max)
+    jumps[totals <= 0.0] = 0
+    r = uni.r
+    for j in np.nonzero(jumps > 0)[0]:
+        n_j = int(jumps[j])
+        state = int(a[j])
+        target = int(b[j])
+        for k in range(1, n_j):
+            w = r[state, :] * uni.power(n_j - k)[:, target]
+            cw = np.cumsum(w)
+            if cw[-1] <= 0.0:
+                break
+            nxt = int(np.searchsorted(cw, rng.random() * cw[-1], side="right"))
+            nxt = min(nxt, w.shape[0] - 1)
+            if nxt != state:
+                if syn_mask[state, nxt]:
+                    syn_c[j] += 1.0
+                else:
+                    nonsyn_c[j] += 1.0
+            state = nxt
+        # The final jump lands on the conditioned endpoint by
+        # construction; only a real change counts.
+        if state != target:
+            if syn_mask[state, target]:
+                syn_c[j] += 1.0
+            else:
+                nonsyn_c[j] += 1.0
+    return syn_c, nonsyn_c
+
+
+def sample_substitution_mapping(
+    bound,
+    values: Dict[str, float],
+    branch_lengths: Optional[Sequence[float]] = None,
+    n_samples: int = 16,
+    seed: int = 0,
+) -> SubstitutionMapping:
+    """Sample substitution histories for a bound problem at ``values``.
+
+    Parameters
+    ----------
+    bound:
+        A :class:`repro.core.engine.BoundLikelihood` (any engine).
+    values:
+        Model parameter values (typically the MLEs).
+    branch_lengths:
+        Defaults to the bound problem's current vector.
+    n_samples:
+        Histories per site; the returned counts are means over them.
+    seed:
+        Seed for the sampler's private generator (reproducible runs).
+
+    Notes
+    -----
+    Uniformized kernels are obtained through the engine's
+    ``_uniformized_for`` memo, so a recovery rung 4 that already fired
+    during the fit shares its cached powers of ``R`` with the sampler
+    (and vice versa).
+    """
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    tree = bound.tree
+    patterns = bound.patterns
+    pi = bound.pi
+    lengths = (
+        np.asarray(branch_lengths, dtype=float)
+        if branch_lengths is not None
+        else bound.branch_lengths
+    )
+    engine = bound.engine
+    graph = bound.model.site_class_graph(values)
+    classes = graph.nodes
+    matrices = build_class_matrices(values["kappa"], classes, pi, engine.code)
+    decomps = {omega: engine._decompose(matrix) for omega, matrix in matrices.items()}
+    unis = {omega: engine._uniformized_for(decomp) for omega, decomp in decomps.items()}
+
+    non_root = [n for n in tree.nodes if not n.is_root]
+    pos_of = {n.index: k for k, n in enumerate(non_root)}
+    n_nodes = len(tree.nodes)
+    n_patterns = patterns.n_patterns
+    n_states = pi.shape[0]
+    leaf_clvs = bound._leaf_clvs
+
+    class_lnl, proportions = bound.site_class_matrix(values, lengths)
+    from repro.likelihood.mixture import class_posteriors
+
+    class_post = class_posteriors(class_lnl, proportions)
+
+    # Dense P(t) per (ω, t) via the LRU operator cache, and per-class
+    # inside vectors — both fixed across samples, computed once.
+    p_memo: Dict[tuple, np.ndarray] = {}
+
+    def p_matrix(omega: float, t: float) -> np.ndarray:
+        key = (omega, t)
+        if key not in p_memo:
+            op = engine._operator_for(decomps[omega], t)
+            p_memo[key] = engine._operator_probability_matrix(op)
+        return p_memo[key]
+
+    def branch_omega(cls, node) -> float:
+        return cls.omega_foreground if node.foreground else cls.omega_background
+
+    inside_by_class: List[List[Optional[np.ndarray]]] = []
+    for cls in classes:
+        inside: List[Optional[np.ndarray]] = [None] * n_nodes
+        for i, clv in enumerate(leaf_clvs):
+            inside[i] = clv
+        for node in tree.postorder():
+            if node.is_leaf:
+                continue
+            acc = np.ones((n_states, n_patterns))
+            for child in node.children:
+                t = float(lengths[pos_of[child.index]])
+                acc *= p_matrix(branch_omega(cls, child), t) @ inside[child.index]
+            _rescale_columns(acc)
+            inside[node.index] = acc
+        inside_by_class.append(inside)
+
+    syn_mask = classification_table(engine.code).synonymous
+    rng = np.random.default_rng(seed)
+    syn = np.zeros((len(non_root), n_patterns))
+    nonsyn = np.zeros((len(non_root), n_patterns))
+    all_cols = np.arange(n_patterns)
+    class_cum = np.cumsum(class_post, axis=0)
+
+    for _ in range(n_samples):
+        u = rng.random(n_patterns)
+        cls_idx = (class_cum < u[None, :]).sum(axis=0)
+        cls_idx = np.minimum(cls_idx, len(classes) - 1)
+        for ci, cls in enumerate(classes):
+            cols = all_cols[cls_idx == ci]
+            if cols.size == 0:
+                continue
+            inside = inside_by_class[ci]
+            states: Dict[int, np.ndarray] = {
+                tree.root.index: _sample_columns(
+                    pi[:, None] * inside[tree.root.index][:, cols], rng
+                )
+            }
+            for node in tree.preorder():
+                parent_states = states[node.index]
+                for child in node.children:
+                    t = float(lengths[pos_of[child.index]])
+                    omega = branch_omega(cls, child)
+                    p = p_matrix(omega, t)
+                    # Exact joint conditional: rows of P at the sampled
+                    # parent state, shaped (S, m), times L_child.
+                    w = p[parent_states, :].T * inside[child.index][:, cols]
+                    child_states = _sample_columns(w, rng)
+                    states[child.index] = child_states
+                    s_add, n_add = _sample_branch_events(
+                        unis[omega], parent_states, child_states, t, syn_mask, rng
+                    )
+                    syn[pos_of[child.index], cols] += s_add
+                    nonsyn[pos_of[child.index], cols] += n_add
+
+    syn /= n_samples
+    nonsyn /= n_samples
+    labels = [n.name if n.name else f"node#{n.index}" for n in non_root]
+    return SubstitutionMapping(
+        branch_labels=labels,
+        foreground=[bool(n.foreground) for n in non_root],
+        branch_lengths=np.asarray(
+            [float(lengths[pos_of[n.index]]) for n in non_root]
+        ),
+        syn=patterns.expand(syn, axis=1),
+        nonsyn=patterns.expand(nonsyn, axis=1),
+        n_samples=n_samples,
+    )

@@ -148,6 +148,16 @@ class GeneResult:
     #: results from journals written before the field existed — readers
     #: treat that as the model-A default.
     model: Optional[str] = None
+    #: Per-rung operator-build counts from the worker engine's recovery
+    #: ladder (``{"evr": n, "pade": m, "uniformization": k}``, see
+    #: ``LikelihoodEngine.rung_usage``).  ``None`` when recovery was off
+    #: or on pre-v7 journal records.
+    rung_usage: Optional[Dict[str, int]] = None
+    #: Stochastic substitution-mapping payload
+    #: (:meth:`repro.likelihood.mapping.SubstitutionMapping.to_payload`),
+    #: ``{"error": ...}`` when sampling failed without sinking the task,
+    #: ``None`` when mapping was not requested.
+    mapping: Optional[Dict] = None
 
     @property
     def failed(self) -> bool:
@@ -198,9 +208,10 @@ def _run_gene(args: Tuple) -> GeneResult:
 
     The payload is ``(job, engine_name, seed, max_iterations)`` with an
     optional fifth ``recover`` flag, an optional sixth ``incremental``
-    flag, an optional seventh ``batched`` override and an optional
-    eighth ``model`` spec string (older 4-/5-/6-/7-tuples keep working —
-    the journal-resume and custom-worker seams rely on that).
+    flag, an optional seventh ``batched`` override, an optional eighth
+    ``model`` spec string and an optional ninth ``map_samples`` count
+    (older 4-…-8-tuples keep working — the journal-resume and
+    custom-worker seams rely on that).
 
     Raises on failure: the fault layer (:mod:`repro.parallel.faults`)
     owns error capture, classification and retries.
@@ -210,6 +221,7 @@ def _run_gene(args: Tuple) -> GeneResult:
     incremental = bool(args[5]) if len(args) > 5 else False
     batched = args[6] if len(args) > 6 else None
     model_spec = args[7] if len(args) > 7 else None
+    map_samples = args[8] if len(args) > 8 else None
     spec = resolve_model_spec(model_spec)
     tree = parse_newick(job.newick)
     if getattr(job, "fg_node", None) is not None:
@@ -218,21 +230,49 @@ def _run_gene(args: Tuple) -> GeneResult:
     engine = make_engine(
         engine_name, recovery=RecoveryConfig() if recover else None
     )
+    bind = lambda model: engine.bind(tree, alignment, model,
+                                     incremental=incremental, batched=batched)
     test = fit_branch_site_test(
-        lambda model: engine.bind(tree, alignment, model, incremental=incremental,
-                                  batched=batched),
+        bind,
         seed=seed,
         max_iterations=max_iterations,
         recovery=RecoveryPolicy() if recover else None,
         models=spec.pair(),
     )
+    mapping = _run_mapping(bind, spec, test, map_samples, seed)
     return _assemble_result(job.gene_id, test, engine, incremental,
-                            model=spec.spec)
+                            model=spec.spec, recover=recover, mapping=mapping)
+
+
+def _run_mapping(bind, spec, test, map_samples: Optional[int], seed) -> Optional[Dict]:
+    """Sample substitution histories at the H1 MLEs (``--map``).
+
+    A sampling failure must not sink an otherwise finished test (the
+    fit already succeeded), so it degrades to an ``{"error": ...}``
+    payload the report surfaces per task.
+    """
+    if not map_samples:
+        return None
+    try:
+        from repro.likelihood.mapping import sample_substitution_mapping
+
+        bound = bind(spec.pair()[1])
+        return sample_substitution_mapping(
+            bound,
+            test.h1.values,
+            branch_lengths=test.h1.branch_lengths,
+            n_samples=int(map_samples),
+            seed=int(seed) if np.isscalar(seed) else 0,
+        ).to_payload()
+    except Exception as exc:  # noqa: BLE001 — mapping is strictly additive
+        return {"error": f"{type(exc).__name__}: {exc}"}
 
 
 def _assemble_result(gene_id: str, test, engine, incremental: bool,
                      setup_seconds: float = 0.0,
-                     model: Optional[str] = None) -> GeneResult:
+                     model: Optional[str] = None,
+                     recover: bool = False,
+                     mapping: Optional[Dict] = None) -> GeneResult:
     clv_stats = None
     if incremental:
         stats = engine.cache_stats()
@@ -240,6 +280,9 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
             "propagations": int(stats["clv_propagations"]),
             "reuses": int(stats["clv_reuses"]),
         }
+    rung_usage = None
+    if recover and engine.rung_usage:
+        rung_usage = {k: int(v) for k, v in engine.rung_usage.items()}
     return GeneResult(
         gene_id=gene_id,
         lnl0=test.h0.lnl,
@@ -253,6 +296,8 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
         clv_stats=clv_stats,
         setup_seconds=setup_seconds,
         model=model,
+        rung_usage=rung_usage,
+        mapping=mapping,
     )
 
 
@@ -264,6 +309,7 @@ def _build_shared_context(
     max_iterations: int,
     batched: Optional[bool] = None,
     model: Optional[str] = None,
+    map_samples: Optional[int] = None,
 ) -> Tuple[Dict, List[Tuple[int, int]]]:
     """Deduplicate batch state and precompute per-alignment derivations.
 
@@ -316,6 +362,7 @@ def _build_shared_context(
         "batched": batched,
         "max_iterations": max_iterations,
         "model": model,
+        "map_samples": map_samples,
         "newicks": newicks,
         "alignments": alignments,
     }
@@ -372,19 +419,23 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
     incremental = bool(context["incremental"])
     batched = context.get("batched")  # absent in pre-batched contexts
     spec = resolve_model_spec(context.get("model"))  # absent in pre-spec contexts
+    map_samples = context.get("map_samples")  # absent in pre-mapping contexts
     engine = make_engine(
         context["engine"], recovery=RecoveryConfig() if recover else None
     )
+    bind = lambda model: engine.bind(tree, patterns, model, pi=pi,
+                                     incremental=incremental, batched=batched)
     test = fit_branch_site_test(
-        lambda model: engine.bind(tree, patterns, model, pi=pi,
-                                  incremental=incremental, batched=batched),
+        bind,
         seed=seed,
         max_iterations=int(context["max_iterations"]),
         recovery=RecoveryPolicy() if recover else None,
         models=spec.pair(),
     )
+    mapping = _run_mapping(bind, spec, test, map_samples, seed)
     return _assemble_result(gene_id, test, engine, incremental,
-                            setup_seconds=setup, model=spec.spec)
+                            setup_seconds=setup, model=spec.spec,
+                            recover=recover, mapping=mapping)
 
 
 def analyze_genes(
@@ -403,6 +454,7 @@ def analyze_genes(
     incremental: bool = False,
     batched: Optional[bool] = None,
     model: Optional[str] = None,
+    map_samples: Optional[int] = None,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -461,6 +513,13 @@ def analyze_genes(
         :func:`repro.models.registry.resolve_model_spec` — e.g.
         ``"bsrel:3"`` for the 6-class BS-REL test.  ``None`` keeps the
         historical model-A default (bit-identical to it).
+    map_samples:
+        When set, each worker additionally samples that many posterior
+        substitution histories at the H1 MLEs (uniformization-based
+        stochastic mapping, :mod:`repro.likelihood.mapping`) and
+        attaches the per-branch event payload to
+        ``GeneResult.mapping``.  ``None``/``0`` = off (the default; the
+        fit itself is untouched either way).
 
     Returns
     -------
@@ -495,7 +554,7 @@ def analyze_genes(
         # indices per task (see module docstring).
         context, keys = _build_shared_context(
             pending_jobs, engine, recover, incremental, max_iterations,
-            batched=batched, model=model,
+            batched=batched, model=model, map_samples=map_samples,
         )
         payloads = [
             (job.gene_id, ni, job.fg_node, ai, s)
@@ -508,15 +567,20 @@ def analyze_genes(
             # Keep the historical 4-tuple when no flag is set so custom
             # workers written against it never see a surprise element;
             # ``incremental`` rides sixth after ``recover``, the
-            # ``batched`` override seventh, the model spec eighth.
-            if recover or incremental or batched is not None or model is not None:
+            # ``batched`` override seventh, the model spec eighth, the
+            # mapping sample count ninth.
+            mapping_on = map_samples is not None
+            if recover or incremental or batched is not None or model is not None \
+                    or mapping_on:
                 base = base + (recover,)
-            if incremental or batched is not None or model is not None:
+            if incremental or batched is not None or model is not None or mapping_on:
                 base = base + (incremental,)
-            if batched is not None or model is not None:
+            if batched is not None or model is not None or mapping_on:
                 base = base + (None if batched is None else bool(batched),)
-            if model is not None:
+            if model is not None or mapping_on:
                 base = base + (model,)
+            if mapping_on:
+                base = base + (int(map_samples),)
             payloads.append(base)
 
     sink = ResultJournal(journal) if journal is not None else None
@@ -636,6 +700,7 @@ def scan_branches(
     incremental: bool = False,
     batched: Optional[bool] = None,
     model: Optional[str] = None,
+    map_samples: Optional[int] = None,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -689,6 +754,7 @@ def scan_branches(
         incremental=incremental,
         batched=batched,
         model=model,
+        map_samples=map_samples,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}

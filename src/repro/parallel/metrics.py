@@ -68,6 +68,16 @@ class BatchSummary:
     #: the caller after the batch: bytes/frames split into the one-shot
     #: broadcast versus per-task traffic.  Empty = backend has no wire.
     wire: Dict[str, float] = field(default_factory=dict)
+    #: Ladder rung → operator builds it served, summed over tasks that
+    #: ran with recovery (``GeneResult.rung_usage``).
+    rungs_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Tasks that produced a substitution-mapping payload (``--map``).
+    n_mapped: int = 0
+    #: Tasks whose mapping sampler failed (payload carried an error).
+    n_mapping_failed: int = 0
+    #: Expected substitution events summed over mapped tasks' branches.
+    total_mapped_syn: float = 0.0
+    total_mapped_nonsyn: float = 0.0
 
     @property
     def n_resumed(self) -> int:
@@ -92,6 +102,19 @@ class BatchSummary:
             for event in diagnostics.get("events", []):
                 kind = event.get("kind", "unknown")
                 self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+        rung_usage = getattr(result, "rung_usage", None)
+        if rung_usage:
+            for rung, count in rung_usage.items():
+                self.rungs_by_kind[rung] = self.rungs_by_kind.get(rung, 0) + int(count)
+        mapping = getattr(result, "mapping", None)
+        if mapping:
+            if "error" in mapping:
+                self.n_mapping_failed += 1
+            else:
+                self.n_mapped += 1
+                for row in mapping.get("branches", []):
+                    self.total_mapped_syn += float(row.get("syn", 0.0))
+                    self.total_mapped_nonsyn += float(row.get("nonsyn", 0.0))
         clv_stats = getattr(result, "clv_stats", None)
         if clv_stats:
             self.total_clv_propagations += int(clv_stats.get("propagations", 0))
@@ -152,6 +175,26 @@ class BatchSummary:
                 line += ", events: " + ", ".join(
                     f"{kind}={count}"
                     for kind, count in sorted(self.events_by_kind.items())
+                )
+            lines.append(line)
+        if self.rungs_by_kind:
+            lines.append(
+                "rungs      : operator builds "
+                + ", ".join(
+                    f"{rung}={count}"
+                    for rung, count in sorted(self.rungs_by_kind.items())
+                )
+            )
+        if self.n_mapped or self.n_mapping_failed:
+            line = (
+                f"mapping    : {self.n_mapped} "
+                f"task{'s' if self.n_mapped != 1 else ''} sampled, "
+                f"E[syn]={self.total_mapped_syn:.2f}, "
+                f"E[nonsyn]={self.total_mapped_nonsyn:.2f}"
+            )
+            if self.n_mapping_failed:
+                line += f", {self.n_mapping_failed} sampler failure" + (
+                    "s" if self.n_mapping_failed != 1 else ""
                 )
             lines.append(line)
         if self.n_cold_starts:

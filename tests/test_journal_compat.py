@@ -1,10 +1,11 @@
 """Journal backward compatibility across committed schema versions.
 
 One fixture file per historical journal version (v2 added the header,
-v3 diagnostics, v4 clv_stats, v5 setup_seconds, v6 the model spec) plus
-the current version; the tolerant reader must load every one of them —
-that is the contract that lets a scan journalled by an old release
-resume on a new one.
+v3 diagnostics, v4 clv_stats, v5 setup_seconds, v6 the model spec, v7
+rung_usage + the substitution-mapping payload) plus the current
+version; the tolerant reader must load every one of them — that is the
+contract that lets a scan journalled by an old release resume on a new
+one.
 """
 
 import json
@@ -17,7 +18,7 @@ import pytest
 from repro.io.results_io import JOURNAL_VERSION, ResultJournal
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "data", "journals")
-VERSIONS = (2, 3, 4, 5, 6)
+VERSIONS = (2, 3, 4, 5, 6, 7)
 
 
 def _fixture(version):
@@ -85,12 +86,33 @@ class TestFixtureVersions:
         assert by_id["gene1:A"].model == "bsrel:3"
         assert by_id["gene1:F"].model == "branch-site-A"
 
-    @pytest.mark.parametrize("version", VERSIONS[:-1])
+    def test_v7_rung_usage_and_mapping_survive(self):
+        results = ResultJournal(_fixture(7)).load()
+        by_id = {r.gene_id: r for r in results}
+        mapped = by_id["gene1:A"]
+        assert mapped.rung_usage == {"evr": 1380, "pade": 14, "uniformization": 2}
+        assert mapped.mapping["n_samples"] == 16
+        rows = {row["branch"]: row for row in mapped.mapping["branches"]}
+        assert rows["A"]["foreground"] and rows["A"]["ratio"] == 1.25
+        assert rows["B"]["ratio"] is None  # zero syn events: undefined
+        assert mapped.mapping["foreground_sites"]["nonsyn"] == [2.0, 0.0, 1.25]
+        # A task that ran without --map / recovery journals None for both.
+        assert by_id["gene1:F"].rung_usage is None
+        assert by_id["gene1:F"].mapping is None
+
+    @pytest.mark.parametrize("version", [v for v in VERSIONS if v < 6])
     def test_older_versions_default_model_to_none(self, version):
         # Pre-v6 journals never recorded the model: readers see None and
         # treat it as the historical model-A default.
         for result in ResultJournal(_fixture(version)).load():
             assert result.model is None
+
+    @pytest.mark.parametrize("version", [v for v in VERSIONS if v < 7])
+    def test_older_versions_default_mapping_fields_to_none(self, version):
+        # Pre-v7 journals never recorded rung usage or mapping payloads.
+        for result in ResultJournal(_fixture(version)).load():
+            assert result.rung_usage is None
+            assert result.mapping is None
 
 
 class TestForwardGuards:

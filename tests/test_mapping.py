@@ -1,0 +1,128 @@
+"""Stochastic substitution mapping: shapes, determinism, calibration,
+and the journal payload the scan report renders."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.simulate import simulate_alignment
+from repro.core.engine import make_engine
+from repro.likelihood.mapping import (
+    SubstitutionMapping,
+    sample_substitution_mapping,
+)
+from repro.models.branch_site import BranchSiteModelA
+from repro.models.m0 import M0Model
+from repro.trees.newick import parse_newick
+
+M0_VALUES = {"kappa": 2.0, "omega": 0.5}
+BSA_VALUES = {"kappa": 2.2, "omega0": 0.2, "omega2": 4.0, "p0": 0.5, "p1": 0.3}
+
+
+@pytest.fixture(scope="module")
+def m0_bound():
+    tree = parse_newick("((A:0.05,B:0.05):0.05,(C:0.05,D:0.05):0.05,E:0.08);")
+    sim = simulate_alignment(tree, M0Model(), M0_VALUES, 60, seed=17)
+    return make_engine("slim").bind(tree, sim.alignment, M0Model())
+
+
+@pytest.fixture(scope="module")
+def bsa_bound():
+    tree = parse_newick("((A:0.2,B:0.1):0.08 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+    sim = simulate_alignment(tree, BranchSiteModelA(), BSA_VALUES, n_codons=40, seed=9)
+    return make_engine("slim").bind(tree, sim.alignment, BranchSiteModelA())
+
+
+class TestSampler:
+    def test_shapes_and_nonnegativity(self, m0_bound):
+        mapping = sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=4, seed=1)
+        n_branches = m0_bound.n_branches
+        assert mapping.n_branches == n_branches == 7
+        assert mapping.n_sites == 60  # expanded to sites, not patterns
+        assert mapping.syn.shape == mapping.nonsyn.shape == (n_branches, 60)
+        assert np.all(mapping.syn >= 0.0) and np.all(mapping.nonsyn >= 0.0)
+        assert len(mapping.branch_labels) == n_branches
+        assert mapping.n_samples == 4
+
+    def test_deterministic_per_seed(self, m0_bound):
+        one = sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=4, seed=7)
+        two = sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=4, seed=7)
+        assert np.array_equal(one.syn, two.syn)
+        assert np.array_equal(one.nonsyn, two.nonsyn)
+        other = sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=4, seed=8)
+        assert not (
+            np.array_equal(one.syn, other.syn)
+            and np.array_equal(one.nonsyn, other.nonsyn)
+        )
+
+    def test_event_totals_calibrate_with_tree_length(self, m0_bound):
+        # Q is normalised to one expected substitution per site per unit
+        # time, so total sampled events ≈ tree length × sites — a loose
+        # factor-of-2 envelope holds for any healthy sampler.
+        mapping = sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=16, seed=3)
+        total = float(mapping.syn.sum() + mapping.nonsyn.sum())
+        expected = m0_bound.branch_lengths.sum() * mapping.n_sites
+        assert 0.5 * expected < total < 2.0 * expected
+
+    def test_zero_length_branches_sample_zero_events(self, m0_bound):
+        lengths = np.array(m0_bound.branch_lengths, copy=True)
+        lengths[0] = 0.0
+        mapping = sample_substitution_mapping(
+            m0_bound, M0_VALUES, branch_lengths=lengths, n_samples=4, seed=1
+        )
+        assert mapping.syn[0].sum() == 0.0 and mapping.nonsyn[0].sum() == 0.0
+
+    def test_shares_uniformized_kernels_with_the_engine(self, m0_bound):
+        engine = m0_bound.engine
+        before = len(engine._uniformized)
+        sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=2, seed=1)
+        # One uniformized kernel per distinct ω decomposition, memoised
+        # on the engine — recovery rung 4 reuses the same cached powers.
+        assert len(engine._uniformized) >= max(before, 1)
+
+    def test_rejects_nonpositive_sample_count(self, m0_bound):
+        with pytest.raises(ValueError, match="n_samples"):
+            sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=0)
+
+
+class TestForegroundAndPayload:
+    def test_foreground_flags_follow_the_mark(self, bsa_bound):
+        mapping = sample_substitution_mapping(bsa_bound, BSA_VALUES, n_samples=2, seed=5)
+        flagged = [
+            label
+            for label, fg in zip(mapping.branch_labels, mapping.foreground)
+            if fg
+        ]
+        assert len(flagged) == 1  # exactly the #1-marked branch
+
+    def test_payload_shape_and_ratio_semantics(self, bsa_bound):
+        mapping = sample_substitution_mapping(bsa_bound, BSA_VALUES, n_samples=4, seed=5)
+        payload = mapping.to_payload()
+        assert payload["n_samples"] == 4
+        assert len(payload["branches"]) == mapping.n_branches
+        for row in payload["branches"]:
+            assert set(row) == {
+                "branch", "foreground", "length", "syn", "nonsyn", "ratio"
+            }
+            if row["syn"] > 0.0:
+                assert row["ratio"] == pytest.approx(row["nonsyn"] / row["syn"])
+            else:
+                assert row["ratio"] is None
+        sites = payload["foreground_sites"]
+        assert len(sites["syn"]) == len(sites["nonsyn"]) == mapping.n_sites
+        # The foreground per-site table sums the flagged branches only.
+        fg = np.asarray(mapping.foreground, dtype=bool)
+        assert np.allclose(sites["nonsyn"], mapping.nonsyn[fg].sum(axis=0), atol=1e-6)
+
+    def test_branch_totals_ratio_is_none_without_syn_events(self):
+        mapping = SubstitutionMapping(
+            branch_labels=["A", "B"],
+            foreground=[True, False],
+            branch_lengths=np.array([0.3, 0.1]),
+            syn=np.array([[2.0, 0.0], [0.0, 0.0]]),
+            nonsyn=np.array([[1.0, 0.5], [1.0, 0.0]]),
+            n_samples=8,
+        )
+        rows = {row["branch"]: row for row in mapping.branch_totals()}
+        assert rows["A"]["ratio"] == pytest.approx(1.5 / 2.0)
+        assert rows["B"]["ratio"] is None
+        assert rows["A"]["foreground"] and not rows["B"]["foreground"]

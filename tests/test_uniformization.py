@@ -1,0 +1,362 @@
+"""Uniformized transition kernel (rung 4): invariants, cross-validation,
+engine wiring, and fault-injected scans that must complete through it."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+import repro.core.engine as engine_mod
+from repro.alignment.simulate import simulate_alignment
+from repro.codon.matrix import build_rate_matrix
+from repro.core.eigen import PadeFallback, decompose
+from repro.core.engine import make_engine
+from repro.core.expm import transition_matrix_scipy, transition_matrix_syrk
+from repro.core.recovery import NumericalError, RecoveryConfig
+from repro.core.uniformization import (
+    UniformizedOperator,
+    poisson_truncation,
+    uniformized_transition_matrix,
+)
+from repro.models.branch_site import BranchSiteModelA
+from repro.parallel.batch import scan_branches
+from repro.trees.newick import parse_newick
+
+OMEGAS = (1e-4, 1.0, 50.0, 500.0)
+TIMES = (1e-8, 1.0, 10.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def pi():
+    rng = np.random.default_rng(11)
+    raw = rng.dirichlet(np.full(61, 4.0))
+    return raw / raw.sum()
+
+
+class TestPoissonTruncation:
+    def test_zero_rate_is_a_point_mass(self):
+        w = poisson_truncation(0.0, 1e-12)
+        assert w.shape == (1,) and w[0] == 1.0
+
+    @pytest.mark.parametrize("mu_t", [0.1, 1.0, 10.0, 47.0])
+    def test_tail_mass_bounded(self, mu_t):
+        tol = 1e-12
+        w = poisson_truncation(mu_t, tol)
+        assert 1.0 - w.sum() <= tol
+        assert np.all(w >= 0.0)
+
+    def test_insufficient_terms_raises(self):
+        with pytest.raises(ValueError, match="did not reach"):
+            poisson_truncation(40.0, 1e-12, max_terms=10)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            poisson_truncation(-1.0, 1e-12)
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            poisson_truncation(float("nan"), 1e-12)
+
+
+class TestKernelInvariants:
+    """The acceptance grid: every (ω, t) cell keeps every invariant."""
+
+    @pytest.mark.parametrize("omega", OMEGAS)
+    @pytest.mark.parametrize("t", TIMES)
+    def test_rows_nonnegative_and_stochastic(self, pi, omega, t):
+        q = build_rate_matrix(2.0, omega, pi).q
+        p = uniformized_transition_matrix(q, t, pi)
+        assert np.all(p >= 0.0), f"negative entry at omega={omega}, t={t}"
+        assert np.max(np.abs(p.sum(axis=1) - 1.0)) <= 1e-12
+
+    @pytest.mark.parametrize("omega", OMEGAS)
+    @pytest.mark.parametrize("t", TIMES)
+    def test_agrees_with_spectral(self, pi, omega, t):
+        # The uniformized P(t) must track the healthy spectral path to
+        # 1e-10 max-abs everywhere on the grid — that is what qualifies
+        # it as the ladder's independent witness.
+        matrix = build_rate_matrix(2.0, omega, pi)
+        p_spec = transition_matrix_syrk(decompose(matrix), t)
+        p_uni = uniformized_transition_matrix(matrix.q, t, pi)
+        assert np.max(np.abs(p_uni - p_spec)) <= 1e-10
+
+    @pytest.mark.parametrize("omega", OMEGAS)
+    @pytest.mark.parametrize("t", [1e-8, 1.0, 10.0])
+    def test_agrees_with_pade(self, pi, omega, t):
+        # Cross-validation against the algorithmically independent scipy
+        # Padé path on the moderate grid.
+        q = build_rate_matrix(2.0, omega, pi).q
+        p_pade = transition_matrix_scipy(q, t)
+        p_uni = uniformized_transition_matrix(q, t, pi)
+        assert np.max(np.abs(p_uni - p_pade)) <= 1e-8
+
+    def test_zero_time_is_identity(self, pi):
+        q = build_rate_matrix(2.0, 1.0, pi).q
+        assert np.array_equal(uniformized_transition_matrix(q, 0.0, pi), np.eye(61))
+
+
+class TestUniformizedOperator:
+    def test_jump_matrix_is_stochastic(self, pi):
+        uni = UniformizedOperator(build_rate_matrix(2.0, 0.5, pi).q, pi)
+        assert np.all(uni.r >= 0.0)
+        assert np.allclose(uni.r.sum(axis=1), 1.0, atol=1e-14)
+        assert uni.r_clip == 0.0  # clean generator: nothing clamped
+
+    def test_power_cache_grows_and_is_shared(self, pi):
+        uni = UniformizedOperator(build_rate_matrix(2.0, 0.5, pi).q, pi)
+        assert uni.n_cached_powers == 2
+        p5 = uni.power(5)
+        assert uni.n_cached_powers == 6
+        assert np.allclose(p5, np.linalg.matrix_power(uni.r, 5))
+        uni.power(3)  # served from cache, no growth
+        assert uni.n_cached_powers == 6
+
+    def test_noisy_generator_is_clamped_and_recorded(self, pi):
+        # Rung 4 sees Q rebuilt from damaged spectral factors, which can
+        # carry small negative off-diagonal noise.
+        q = build_rate_matrix(2.0, 0.5, pi).q.copy()
+        q[0, 1] = -1e-9
+        uni = UniformizedOperator(q, pi)
+        assert uni.r_clip > 0.0
+        assert np.all(uni.r >= 0.0)
+        assert np.allclose(uni.r.sum(axis=1), 1.0, atol=1e-14)
+
+    def test_squaring_engages_above_threshold(self, pi):
+        uni = UniformizedOperator(build_rate_matrix(2.0, 0.5, pi).q, pi)
+        assert uni.terms_for(1.0 / uni.mu)[1] == 0
+        terms, squarings = uni.terms_for(400.0 / uni.mu)
+        assert squarings >= 3
+        assert terms <= 200  # squaring keeps the series short
+
+    def test_tokens_are_unique_and_monotone(self, pi):
+        q = build_rate_matrix(2.0, 0.5, pi).q
+        a = UniformizedOperator(q, pi)
+        b = UniformizedOperator(q, pi)
+        assert b.token > a.token
+
+    def test_rejects_bad_inputs(self, pi):
+        q = build_rate_matrix(2.0, 0.5, pi).q
+        with pytest.raises(ValueError, match="square"):
+            UniformizedOperator(q[:, :10], pi)
+        with pytest.raises(ValueError, match="finite generator"):
+            UniformizedOperator(np.full((4, 4), np.nan), pi[:4])
+        with pytest.raises(ValueError, match="tol"):
+            UniformizedOperator(q, pi, tol=0.0)
+        bad = q.copy()
+        np.fill_diagonal(bad, 1.0)
+        with pytest.raises(ValueError, match="positive diagonal"):
+            UniformizedOperator(bad, pi)
+        uni = UniformizedOperator(q, pi)
+        with pytest.raises(ValueError, match="branch length"):
+            uni.transition_matrix(-1.0)
+        with pytest.raises(ValueError, match="power exponent"):
+            uni.power(-1)
+
+    def test_evaluation_counter(self, pi):
+        uni = UniformizedOperator(build_rate_matrix(2.0, 0.5, pi).q, pi)
+        uni.transition_matrix(0.5)
+        uni.transition_matrix(1.5)
+        assert uni.evaluations == 2
+
+
+class TestRung4Wiring:
+    """Engine-level behaviour: fallback, attribution, exhaustion, cache."""
+
+    @pytest.fixture
+    def fallback(self, pi):
+        matrix = build_rate_matrix(2.0, 0.5, pi)
+        return PadeFallback(
+            q=matrix.q, pi=pi,
+            ladder=(("evr", "residual 1e-5"), ("ev", "residual 2e-6")),
+        )
+
+    def test_pade_guard_failure_degrades_to_uniformization(
+        self, fallback, monkeypatch
+    ):
+        engine = make_engine("slim", recovery=RecoveryConfig())
+        monkeypatch.setattr(
+            engine_mod, "transition_matrix_scipy",
+            lambda q, t: np.full_like(q, -1.0),
+        )
+        op = engine._operator_for(fallback, 0.4)
+        p = np.asarray(engine._operator_probability_matrix(op))
+        ref = transition_matrix_scipy(fallback.q, 0.4)
+        assert np.max(np.abs(p - ref)) < 1e-9
+        events = [
+            ev for ev in engine.events.events if ev.kind == "uniformization_fallback"
+        ]
+        assert len(events) == 1
+        assert events[0].context["path"] == "pade"
+        assert engine.rung_usage.get("uniformization") == 1
+        assert "pade" not in engine.rung_usage
+
+    def test_ladder_exhaustion_is_one_structured_event(self, fallback, monkeypatch):
+        engine = make_engine("slim", recovery=RecoveryConfig())
+        monkeypatch.setattr(
+            engine_mod, "transition_matrix_scipy",
+            lambda q, t: np.full_like(q, np.nan),
+        )
+        monkeypatch.setattr(
+            UniformizedOperator, "transition_matrix",
+            lambda self, t: (_ for _ in ()).throw(ValueError("series diverged")),
+        )
+        with pytest.raises(NumericalError, match="every recovery rung failed") as err:
+            engine._operator_for(fallback, 0.4)
+        # The structured error carries the whole failure history — every
+        # eigensolver rejection plus the Padé and uniformization errors —
+        # not the last rung's raw exception.
+        message = str(err.value)
+        for rung in ("evr", "ev", "pade", "uniformization"):
+            assert rung in message
+        assert "series diverged" in message
+        exhausted = [
+            ev for ev in engine.events.events if ev.kind == "ladder_exhausted"
+        ]
+        assert len(exhausted) == 1
+        assert exhausted[0].context["rungs_failed"] == 4
+
+    def test_rung4_disabled_reraises_the_pade_failure(self, fallback, monkeypatch):
+        engine = make_engine("slim", recovery=RecoveryConfig(uniformization=False))
+        monkeypatch.setattr(
+            engine_mod, "transition_matrix_scipy",
+            lambda q, t: np.full_like(q, -1.0),
+        )
+        with pytest.raises(NumericalError):
+            engine._operator_for(fallback, 0.4)
+        assert "uniformization" not in engine.rung_usage
+
+    def test_cross_check_attributes_the_diverged_path(self, pi, monkeypatch):
+        engine = make_engine("slim", recovery=RecoveryConfig(cross_check=True))
+        decomp = engine._decompose(build_rate_matrix(2.0, 0.5, pi))
+        real_build = type(engine)._build_operator
+
+        def corrupt(self, d, t):
+            bad = np.array(real_build(self, d, t), copy=True)
+            bad[0, :] += 0.5  # far beyond any repair tolerance
+            return bad
+
+        monkeypatch.setattr(type(engine), "_build_operator", corrupt)
+        op = engine._operator_for(decomp, 0.3)
+        # Served by the witness: agrees with the honest spectral result.
+        p = np.asarray(engine._operator_probability_matrix(op))
+        assert np.max(np.abs(p - transition_matrix_syrk(decomp, 0.3))) < 1e-9
+        checks = [
+            ev for ev in engine.events.events
+            if ev.kind == "uniformization_cross_check"
+        ]
+        assert len(checks) == 1
+        # The corrupted spectral path is named; the Padé witness agrees.
+        assert checks[0].context["diverged"] == "spectral"
+        assert checks[0].context["dev_spectral"] > 0.4
+        assert checks[0].context["dev_pade"] < 1e-8
+
+    def test_spectral_failure_without_cross_check_still_raises(self, pi, monkeypatch):
+        engine = make_engine("slim", recovery=RecoveryConfig())
+        decomp = engine._decompose(build_rate_matrix(2.0, 0.5, pi))
+        real_build = type(engine)._build_operator
+
+        def corrupt(self, d, t):
+            bad = np.array(real_build(self, d, t), copy=True)
+            bad[0, :] += 0.5
+            return bad
+
+        monkeypatch.setattr(type(engine), "_build_operator", corrupt)
+        with pytest.raises(NumericalError):
+            engine._operator_for(decomp, 0.3)
+
+    def test_pade_operators_ride_the_lru_even_with_caching_off(self, fallback):
+        engine = make_engine("slim", recovery=RecoveryConfig())
+        assert engine.cache_transition_matrices is False
+        op1 = engine._operator_for(fallback, 0.2)
+        op2 = engine._operator_for(fallback, 0.2)
+        assert op1 is op2
+        stats = engine.cache_stats()
+        assert stats["transition_hits"] == 1
+        assert stats["rung_pade"] == 1
+
+    def test_spectral_rung_usage_is_counted(self, pi):
+        engine = make_engine("slim", recovery=RecoveryConfig())
+        decomp = engine._decompose(build_rate_matrix(2.0, 0.5, pi))
+        engine._operator_for(decomp, 0.1)
+        engine._operator_for(decomp, 0.2)
+        assert engine.cache_stats()["rung_evr"] == 2
+
+
+@pytest.fixture(scope="module")
+def scan_problem():
+    tree = parse_newick("((A:0.2,B:0.1):0.08 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+    sim = simulate_alignment(
+        tree, BranchSiteModelA(),
+        {"kappa": 2.2, "omega0": 0.2, "omega2": 4.0, "p0": 0.5, "p1": 0.3},
+        n_codons=30, seed=9,
+    )
+    return tree, sim.alignment
+
+
+def _dead_eigh(*args, **kwargs):
+    raise np.linalg.LinAlgError("eigensolver injected dead")
+
+
+class TestFaultInjectedScan:
+    """The acceptance scenario: scans complete via rung 4, and survive
+    even total ladder exhaustion without aborting the batch."""
+
+    def test_scan_completes_via_rung4_with_attribution(
+        self, scan_problem, monkeypatch
+    ):
+        tree, alignment = scan_problem
+        # Kill every LAPACK eigensolver (forces PadeFallback) *and* make
+        # scipy's Padé produce guard-failing garbage: only rung 4 is left.
+        monkeypatch.setattr(scipy.linalg, "eigh", _dead_eigh)
+        monkeypatch.setattr(
+            engine_mod, "transition_matrix_scipy",
+            lambda q, t: np.full_like(q, -1.0),
+        )
+        scan = scan_branches(
+            "faulted", tree, alignment,
+            seed=3, max_iterations=3, processes=1, recover=True,
+            map_samples=2,
+        )
+        assert scan.ok, scan.failures
+        assert scan.n_candidates == 7
+        for res in scan.gene_results:
+            assert res.rung_usage is not None
+            assert res.rung_usage.get("uniformization", 0) > 0
+            assert "evr" not in res.rung_usage and "pade" not in res.rung_usage
+            # Event attribution: rung 4 fired, every time from the Padé
+            # path (the spectral rungs never produced a decomposition).
+            fallback_events = [
+                ev for ev in res.diagnostics["events"]
+                if ev["kind"] == "uniformization_fallback"
+            ]
+            assert fallback_events
+            assert all(
+                ev["context"]["path"] == "pade" for ev in fallback_events
+            )
+            # --map rode along, sampling through the same uniformized
+            # kernels: no error payload, real per-branch event rows.
+            assert res.mapping is not None and "error" not in res.mapping
+            assert res.mapping["branches"]
+
+    def test_total_exhaustion_survives_as_structured_failures(
+        self, scan_problem, monkeypatch
+    ):
+        tree, alignment = scan_problem
+        monkeypatch.setattr(scipy.linalg, "eigh", _dead_eigh)
+        monkeypatch.setattr(
+            engine_mod, "transition_matrix_scipy",
+            lambda q, t: np.full_like(q, -1.0),
+        )
+        monkeypatch.setattr(
+            UniformizedOperator, "transition_matrix",
+            lambda self, t: (_ for _ in ()).throw(ValueError("series diverged")),
+        )
+        scan = scan_branches(
+            "exhausted", tree, alignment,
+            seed=3, max_iterations=3, processes=1, recover=True,
+            map_samples=2,
+        )
+        # Every branch failed — but the batch finished with structured
+        # per-branch failures instead of aborting on a raw exception.
+        assert not scan.ok
+        assert len(scan.failures) == scan.n_candidates == 7
+        for failure in scan.failures.values():
+            assert failure.error_type == "ValueError"
+            assert "not finite at the start point" in failure.message
