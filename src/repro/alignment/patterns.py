@@ -77,23 +77,43 @@ def compress_patterns(alignment: CodonAlignment) -> PatternAlignment:
     """Collapse identical columns into weighted patterns.
 
     Pattern order is first-occurrence order, which keeps the compressed
-    alignment deterministic for a given input.
+    alignment deterministic for a given input.  Alignments without
+    ambiguity codes (the overwhelmingly common case) take a vectorised
+    ``np.unique`` pass over the state matrix — O(taxa · sites · log
+    sites) in C instead of a Python loop hashing every column; the
+    sorted unique set is re-ranked by first occurrence so the output is
+    identical to the loop's.  Columns with ambiguity sets fall back to
+    the hashing loop, whose keys include the ambiguity contents.
     """
-    seen: Dict[Tuple, int] = {}
-    weights: List[int] = []
-    site_to_pattern = np.empty(alignment.n_codons, dtype=np.intp)
-    pattern_cols: List[int] = []
+    if not alignment.ambiguity_sets:
+        columns = np.ascontiguousarray(alignment.states.T)
+        _, first_idx, inverse, counts = np.unique(
+            columns, axis=0, return_index=True, return_inverse=True,
+            return_counts=True,
+        )
+        inverse = np.asarray(inverse).reshape(-1)
+        order = np.argsort(first_idx, kind="stable")
+        rank = np.empty(order.size, dtype=np.intp)
+        rank[order] = np.arange(order.size)
+        site_to_pattern = rank[inverse]
+        pattern_cols = first_idx[order].tolist()
+        weights = counts[order].tolist()
+    else:
+        seen: Dict[Tuple, int] = {}
+        weights: List[int] = []
+        site_to_pattern = np.empty(alignment.n_codons, dtype=np.intp)
+        pattern_cols: List[int] = []
 
-    for col in range(alignment.n_codons):
-        key = _column_key(alignment, col)
-        idx = seen.get(key)
-        if idx is None:
-            idx = len(pattern_cols)
-            seen[key] = idx
-            pattern_cols.append(col)
-            weights.append(0)
-        weights[idx] += 1
-        site_to_pattern[col] = idx
+        for col in range(alignment.n_codons):
+            key = _column_key(alignment, col)
+            idx = seen.get(key)
+            if idx is None:
+                idx = len(pattern_cols)
+                seen[key] = idx
+                pattern_cols.append(col)
+                weights.append(0)
+            weights[idx] += 1
+            site_to_pattern[col] = idx
 
     states = alignment.states[:, pattern_cols].copy()
     ambiguity = {}

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--map-samples", type=int, default=16,
                      help="posterior histories per site for --map")
+    run.add_argument(
+        "--map-serial", action="store_true",
+        help="draw --map histories with the reference serial sampler "
+             "instead of the batched one (bit-identical results; the "
+             "equivalence gate)",
+    )
     run.add_argument("--cleandata", action="store_true", help="drop columns with gaps")
     run.add_argument(
         "--incremental", action="store_true",
@@ -116,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.add_argument("--map-samples", type=int, default=16,
                       help="posterior histories per site for --map")
+    scan.add_argument(
+        "--map-serial", action="store_true",
+        help="draw --map histories with the reference serial sampler "
+             "instead of the batched one (bit-identical results; the "
+             "equivalence gate)",
+    )
     scan.add_argument("--processes", type=int, default=1,
                       help="worker processes (1 = in-process)")
     scan.add_argument("--seed", type=int, default=1, help="start-value seed")
@@ -264,6 +276,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mapping = sample_substitution_mapping(
             bound, test.h1.values, branch_lengths=test.h1.branch_lengths,
             n_samples=args.map_samples, seed=seed,
+            method="serial" if args.map_serial else "batched",
         ).to_payload()
 
     report = format_report(test, tree=tree, sites=sites, dataset_name=seqfile,
@@ -361,6 +374,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"  [{k + 1}/{n_candidates}] {res.gene_id}: {state} ({detail})",
               file=sys.stderr)
 
+    # With --survey --map, mapping is deferred: tasks keep their H1 MLEs
+    # instead of sampling, and the coordinator maps only the branches
+    # that survive Holm selection — in one pass over one shared engine.
+    survey_map = args.survey and args.map
     start = time.perf_counter()
     try:
         scan = scan_branches(
@@ -381,7 +398,9 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             incremental=args.incremental,
             batched=args.batched,
             model=model_spec,
-            map_samples=args.map_samples if args.map else None,
+            map_samples=None if survey_map else (args.map_samples if args.map else None),
+            map_serial=args.map_serial,
+            keep_mles=survey_map,
         )
     except RuntimeError as exc:
         # e.g. the socket executor never saw its --min-workers register.
@@ -390,6 +409,45 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.shutdown()
+
+    if survey_map:
+        from repro.io.results_io import ResultJournal
+        from repro.parallel.batch import map_survey_candidates
+
+        significant = scan.holm_significant(args.alpha)
+        if significant and not args.quiet:
+            print(
+                f"  mapping {len(significant)} Holm-significant branch"
+                f"{'es' if len(significant) != 1 else ''} (one pass, "
+                f"shared kernels)...",
+                file=sys.stderr,
+            )
+        if significant:
+            payloads = map_survey_candidates(
+                gene_id,
+                tree,
+                alignment,
+                scan,
+                significant,
+                engine=args.engine,
+                map_samples=args.map_samples,
+                seed=args.seed,
+                model=model_spec,
+                batched=args.batched,
+                method="serial" if args.map_serial else "batched",
+                internal_only=args.internal_only,
+            )
+            by_id = {f"{gene_id}:{label}": p for label, p in payloads.items()}
+            updated = [r for r in scan.gene_results if r.gene_id in by_id]
+            for res in updated:
+                res.mapping = by_id[res.gene_id]
+            if args.journal and updated:
+                # Re-journal the mapped results: completed() keeps the
+                # latest successful record per id, so the upsert wins on
+                # resume without rewriting the file.
+                with ResultJournal(args.journal) as sink:
+                    for res in updated:
+                        sink.append(res)
     wall = time.perf_counter() - start
 
     resumed = [r.gene_id for r in scan.gene_results if r.gene_id not in computed_ids]
@@ -428,7 +486,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         from repro.io.report import format_mapping_block
 
         lines.append("")
-        lines.append("substitution mapping (per tested branch):")
+        lines.append(
+            "substitution mapping (Holm-significant branches, one pass):"
+            if survey_map
+            else "substitution mapping (per tested branch):"
+        )
         for res in mapped:
             lines.append(f"  {res.gene_id}:")
             lines.append(format_mapping_block(res.mapping, indent="    "))

@@ -464,7 +464,7 @@ class LikelihoodEngine:
             tol = (
                 self.recovery.uniformization_tol if self.recovery is not None else 1e-12
             )
-            uni = UniformizedOperator(q, decomp.pi, tol=tol)
+            uni = UniformizedOperator(q, decomp.pi, tol=tol, counter=self.counter)
             self._uniformized[decomp.token] = uni
         return uni
 
@@ -614,6 +614,15 @@ class LikelihoodEngine:
                 decomposition_misses=self._decomp_cache.misses,
                 decomposition_size=len(self._decomp_cache),
             )
+        if self._uniformized:
+            # Rung-4 / mapping kernel reuse: R-power products actually
+            # run vs served from the per-decomposition caches, and the
+            # endpoint-conditioned histories drawn off those kernels.
+            kernels = list(self._uniformized.values())
+            stats["uniformized_kernels"] = len(kernels)
+            stats["uniformized_power_builds"] = sum(u.power_builds for u in kernels)
+            stats["uniformized_power_hits"] = sum(u.power_hits for u in kernels)
+            stats["uniformized_draws_served"] = sum(u.draws_served for u in kernels)
         for rung, count in self.rung_usage.items():
             stats[f"rung_{rung}"] = count
         return stats
@@ -628,6 +637,7 @@ class LikelihoodEngine:
         freq_method: str = "f3x4",
         incremental: bool = False,
         batched: Optional[bool] = None,
+        leaf_clvs: Optional[Sequence[np.ndarray]] = None,
     ) -> "BoundLikelihood":
         """Bind this engine to a (tree, alignment, model) problem.
 
@@ -638,7 +648,12 @@ class LikelihoodEngine:
         full re-pruning; see :class:`BoundLikelihood`).  ``batched``
         selects the stacked-operator / level-order evaluation path
         (``None`` → this engine's default: on for ``slim-v2``, off
-        elsewhere); also bit-identical.
+        elsewhere); also bit-identical.  ``leaf_clvs`` (indexed by leaf
+        node index, as :func:`build_leaf_clvs` returns) lets several
+        bindings over the *same* (topology, pattern alignment) — e.g.
+        the survey mapper's per-candidate foreground marks — share one
+        leaf-CLV build instead of redoing it per binding; the caller
+        guarantees the leaf order matches ``tree.leaf_names()``.
         """
         if isinstance(data, PatternAlignment):
             patterns = data
@@ -658,6 +673,7 @@ class LikelihoodEngine:
             self, tree, patterns, model, np.asarray(pi, dtype=float),
             incremental=incremental,
             batched=self.batched if batched is None else bool(batched),
+            leaf_clvs=leaf_clvs,
         )
 
 
@@ -931,6 +947,7 @@ class BoundLikelihood:
         pi: np.ndarray,
         incremental: bool = False,
         batched: bool = False,
+        leaf_clvs: Optional[Sequence[np.ndarray]] = None,
     ) -> None:
         tree.validate_branch_lengths()
         if model.requires_foreground:
@@ -947,8 +964,14 @@ class BoundLikelihood:
         self.pi = pi
         self.n_evaluations = 0
 
-        # Leaf CLVs indexed by leaf node index (alignment rows reordered).
-        self._leaf_clvs = build_leaf_clvs(alignment.subset_taxa(leaf_names))
+        # Leaf CLVs indexed by leaf node index (alignment rows reordered);
+        # an injected list (survey mapping's shared build) is trusted to
+        # match this binding's leaf order.
+        self._leaf_clvs = (
+            leaf_clvs
+            if leaf_clvs is not None
+            else build_leaf_clvs(alignment.subset_taxa(leaf_names))
+        )
 
         # Static branch structure; lengths layered in per evaluation.
         non_root = [n for n in tree.nodes if not n.is_root]
@@ -968,6 +991,7 @@ class BoundLikelihood:
         self._inc_values: Optional[Dict[str, float]] = None
         self._inc_lengths: Optional[np.ndarray] = None
         self._class_memo: Optional[Tuple[Dict[str, float], SiteClassGraph, Dict]] = None
+        self._class_states_memo: Optional[Tuple[tuple, tuple]] = None
 
         # Batched evaluation (stacked operators + level-order pruning,
         # DESIGN.md §10); the level schedule is static per binding.
@@ -993,6 +1017,7 @@ class BoundLikelihood:
         self._inc_values = None
         self._inc_lengths = None
         self._class_memo = None
+        self._class_states_memo = None
 
     # ------------------------------------------------------------------
     @property
@@ -1051,7 +1076,10 @@ class BoundLikelihood:
         skip_zero: bool = False,
     ) -> Tuple[List, SiteClassGraph]:
         if self.batched:
-            return self._evaluate_batched(values, lengths, touched, skip_zero)
+            results, graph, _ = self._evaluate_batched(
+                values, lengths, touched, skip_zero
+            )
+            return results, graph
         graph, decomps = self._graph_and_decomps(values)
         operator_memo: Dict[Tuple[float, float], object] = {}
 
@@ -1195,7 +1223,7 @@ class BoundLikelihood:
         lengths: np.ndarray,
         touched: "Optional[object]",
         skip_zero: bool,
-    ) -> Tuple[List[PruningResult], SiteClassGraph]:
+    ) -> Tuple[List[PruningResult], SiteClassGraph, Dict[int, PruningState]]:
         """Stacked-operator, level-order evaluation of every site class.
 
         Plans the exact branch set each class will recompute (the class
@@ -1208,6 +1236,13 @@ class BoundLikelihood:
         model A: 0↔2a, 1↔2b) exactly like incremental ones — every
         reused CLV is bit-identical to what recomputation would produce,
         so results match the unbatched path bit for bit.
+
+        Returns the per-class results, the class graph, and the
+        per-class :class:`PruningState` dict (keyed by class index;
+        absent for ``skip``-planned classes) — the states carry the
+        per-node inside CLVs the stochastic-mapping sampler conditions
+        on, so mapping rides the same batched pass instead of
+        re-pruning privately.
         """
         graph, decomps = self._graph_and_decomps(values)
         rows = [
@@ -1385,7 +1420,61 @@ class BoundLikelihood:
             self._inc_states = new_states
             self._inc_values = dict(values)
             self._inc_lengths = np.asarray(lengths, dtype=float).copy()
-        return results, graph
+        return results, graph, new_states
+
+    def class_states(
+        self,
+        values: Dict[str, float],
+        branch_lengths: Optional[Sequence[float]] = None,
+    ) -> Tuple[np.ndarray, SiteClassGraph, Dict, Dict[int, PruningState]]:
+        """Per-class inside CLVs via one batched level-order pass.
+
+        The stochastic-mapping sampler's data plane: one evaluation
+        fills every internal node's CLV for every site class (sharing
+        plan included — background-tied classes alias subtrees), so the
+        sampler never re-prunes privately.  Runs the batched driver
+        regardless of this binding's ``batched`` flag — the driver only
+        needs the engine hooks, and engines without a stacked kernel
+        fall back to per-branch builds inside it.
+
+        The decompositions handed back are the exact objects the pass
+        evaluated with: the memo is pinned for the duration of the
+        inner call so their tokens stay aligned with the transition
+        cache and the uniformized kernels the sampler will key on.
+
+        Returns ``(class_lnl, graph, decomps, states)`` where
+        ``class_lnl`` is the ``(n_classes, n_patterns)``
+        :func:`site_class_log_likelihoods` matrix (zero-weight classes
+        included — ``skip_zero`` is off) and ``states`` maps class
+        index → :class:`PruningState` with every node's CLV filled.
+        """
+        lengths = (
+            np.asarray(branch_lengths, dtype=float)
+            if branch_lengths is not None
+            else self.branch_lengths
+        )
+        key = (tuple(sorted(values.items())), lengths.tobytes())
+        if self._class_states_memo is not None and self._class_states_memo[0] == key:
+            return self._class_states_memo[1]
+        graph, decomps = self._graph_and_decomps(values)
+        saved_memo = self._class_memo
+        self._class_memo = (dict(values), graph, decomps)
+        try:
+            results, _, states = self._evaluate_batched(
+                values, lengths, None, False
+            )
+        finally:
+            if not (self.incremental or self.batched):
+                self._class_memo = saved_memo
+        class_lnl = site_class_log_likelihoods(results, self.pi)
+        self.n_evaluations += 1
+        out = (class_lnl, graph, decomps, states)
+        # PruningState CLVs are immutable-once-written and the sampler
+        # only reads them, so caching the last point is safe; mapping
+        # is typically re-drawn at one MLE (more draws, serial gate,
+        # several seeds), which makes the repeat hit the common case.
+        self._class_states_memo = (key, out)
+        return out
 
     def log_likelihood(
         self,

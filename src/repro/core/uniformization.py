@@ -129,6 +129,7 @@ class UniformizedOperator:
         pi: np.ndarray,
         tol: float = 1e-12,
         squaring_threshold: float = DEFAULT_SQUARING_THRESHOLD,
+        counter=None,
     ) -> None:
         q = np.asarray(q, dtype=float)
         if q.ndim != 2 or q.shape[0] != q.shape[1]:
@@ -167,8 +168,19 @@ class UniformizedOperator:
         r /= np.where(row_sums > 0.0, row_sums, 1.0)[:, None]
         self.r = r
         self._powers: List[np.ndarray] = [np.eye(n), r]
+        self._stack: Optional[np.ndarray] = None
+        self._weights_memo: dict = {}
         #: Series evaluations performed (diagnostics/benchmarks).
         self.evaluations = 0
+        #: Power-cache reuse ledger: ``power_hits`` counts requests served
+        #: from :attr:`_powers` without arithmetic, ``power_builds`` the
+        #: ``R^{k-1}·R`` products actually run, ``draws_served`` the
+        #: endpoint-conditioned histories the mapping sampler drew off
+        #: this kernel (see :meth:`note_draws`).
+        self.power_hits = 0
+        self.power_builds = 0
+        self.draws_served = 0
+        self._counter = counter
 
     @property
     def n_states(self) -> int:
@@ -182,17 +194,51 @@ class UniformizedOperator:
         """``R^k`` from the cache, extending it on demand."""
         if k < 0:
             raise ValueError("power exponent must be non-negative")
+        if k < len(self._powers):
+            self.power_hits += 1
+            return self._powers[k]
+        n = self.n_states
         while len(self._powers) <= k:
             self._powers.append(self._powers[-1] @ self.r)
+            self.power_builds += 1
+            if self._counter is not None:
+                self._counter.add("uniformization:power-dgemm", 2 * n * n * n,
+                                  reads=2 * n * n)
         return self._powers[k]
+
+    def power_stack(self, k_max: int) -> np.ndarray:
+        """Contiguous ``(k_max+1, n, n)`` array of ``R^0..R^{k_max}``.
+
+        The batched sampler gathers ``R^k[a, b]`` across many sites and
+        jump counts at once; a stacked copy turns those gathers into
+        single fancy-index reads.  The stack is cached and rebuilt only
+        when the underlying power list has grown past it, and
+        ``np.asarray`` copies preserve bits, so ``stack[k] ==
+        self.power(k)`` exactly.
+        """
+        self.power(k_max)
+        if self._stack is None or self._stack.shape[0] < k_max + 1:
+            self._stack = np.asarray(self._powers)
+        return self._stack[: k_max + 1]
+
+    def note_draws(self, n_draws: int) -> None:
+        """Record endpoint-conditioned histories served off this kernel."""
+        self.draws_served += int(n_draws)
 
     def jump_weights(self, t: float, max_terms: int = MAX_TERMS) -> np.ndarray:
         """Truncated Poisson(μt) weights for the jump-count distribution.
 
         Used by the endpoint-conditioned sampler, which needs the raw
-        series (no squaring shortcut exists for path sampling).
+        series (no squaring shortcut exists for path sampling).  Memoised
+        per ``(t, max_terms)`` — the sampler asks for the same branch
+        lengths on every draw batch, and the kernel outlives one call.
         """
-        return poisson_truncation(self.mu * float(t), self.tol, max_terms=max_terms)
+        key = (float(t), max_terms)
+        cached = self._weights_memo.get(key)
+        if cached is None:
+            cached = poisson_truncation(self.mu * float(t), self.tol, max_terms=max_terms)
+            self._weights_memo[key] = cached
+        return cached
 
     def _series(self, mu_t: float, tol: float) -> np.ndarray:
         """Direct truncated series at ``μt`` (caller keeps μt moderate)."""

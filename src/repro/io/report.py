@@ -129,21 +129,34 @@ def format_mapping_block(mapping: dict, max_sites: int = 10, indent: str = "") -
     """
     if "error" in mapping:
         return f"{indent}mapping failed: {mapping['error']}"
-    lines = [
+    ci = mapping.get("mapping_ci") or {}
+    ci_rows = {row["branch"]: row for row in ci.get("branches", [])}
+    header = (
         f"{indent}{'branch':<20s} {'fg':>2s} {'length':>8s} "
         f"{'E[syn]':>8s} {'E[nonsyn]':>9s} {'N/S':>8s}"
-    ]
+    )
+    if ci_rows:
+        header += f" {'±syn':>7s} {'±nonsyn':>8s}"
+    lines = [header]
     for row in mapping.get("branches", []):
         ratio = row.get("ratio")
         ratio_text = f"{ratio:>8.3f}" if ratio is not None else f"{'-':>8s}"
-        lines.append(
+        text = (
             f"{indent}{row['branch']:<20s} {'#1' if row.get('foreground') else '':>2s} "
             f"{row.get('length', 0.0):>8.4f} {row.get('syn', 0.0):>8.3f} "
             f"{row.get('nonsyn', 0.0):>9.3f} {ratio_text}"
         )
+        if ci_rows:
+            half = ci_rows.get(row["branch"], {})
+            text += (
+                f" {half.get('syn', 0.0):>7.3f} {half.get('nonsyn', 0.0):>8.3f}"
+            )
+        lines.append(text)
     sites = mapping.get("foreground_sites") or {}
     nonsyn = np.asarray(sites.get("nonsyn", []), dtype=float)
     syn = np.asarray(sites.get("syn", []), dtype=float)
+    ci_sites = ci.get("foreground_sites") or {}
+    nonsyn_half = np.asarray(ci_sites.get("nonsyn", []), dtype=float)
     hot = np.nonzero(nonsyn > 0)[0]
     if hot.size:
         top = hot[np.argsort(nonsyn[hot], kind="stable")[::-1][:max_sites]]
@@ -152,13 +165,24 @@ def format_mapping_block(mapping: dict, max_sites: int = 10, indent: str = "") -
             f"(top {min(max_sites, hot.size)} of {hot.size}):"
         )
         for site in top:
-            lines.append(
-                f"{indent}  site {site + 1:>5d}   E[nonsyn]={nonsyn[site]:.3f}   "
-                f"E[syn]={syn[site] if site < syn.size else 0.0:.3f}"
+            text = (
+                f"{indent}  site {site + 1:>5d}   E[nonsyn]={nonsyn[site]:.3f}"
             )
+            if site < nonsyn_half.size:
+                text += f" ±{nonsyn_half[site]:.3f}"
+            text += f"   E[syn]={syn[site] if site < syn.size else 0.0:.3f}"
+            lines.append(text)
     samples = mapping.get("n_samples")
     if samples:
-        lines.append(f"{indent}({samples} posterior histories per site)")
+        trailer = f"{indent}({samples} posterior histories per site"
+        if ci_rows:
+            trailer += f"; ± = {ci.get('level', 0.95):.0%} normal CI half-width"
+        if mapping.get("seconds"):
+            trailer += (
+                f"; {mapping.get('method', 'batched')} sampler, "
+                f"{float(mapping['seconds']):.3f} s"
+            )
+        lines.append(trailer + ")")
     return "\n".join(lines)
 
 

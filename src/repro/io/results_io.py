@@ -48,8 +48,12 @@ SCHEMA_VERSION = 1
 #: historical branch-site model A — survey scans record which test ran);
 #: version 7 added ``rung_usage`` (per-ladder-rung operator-build
 #: counts when recovery ran) and ``mapping`` (stochastic substitution
-#: mapping payload from ``--map``) — both ``None``/absent when off.
-JOURNAL_VERSION = 7
+#: mapping payload from ``--map``) — both ``None``/absent when off;
+#: version 8 grew the ``mapping`` payload additively (``mapping_ci``
+#: normal-approximation confidence intervals, ``seconds``, ``method``)
+#: and added ``h1_mles`` (the H1 maximum-likelihood point, kept only
+#: when the survey's one-pass mapper asked for it).
+JOURNAL_VERSION = 8
 
 
 def fit_to_dict(fit: FitResult) -> Dict:
@@ -212,6 +216,7 @@ def gene_result_to_dict(result) -> Dict:
         "model": getattr(result, "model", None),
         "rung_usage": getattr(result, "rung_usage", None),
         "mapping": getattr(result, "mapping", None),
+        "h1_mles": getattr(result, "h1_mles", None),
     })
 
 
@@ -255,6 +260,7 @@ def gene_result_from_dict(payload: Dict):
         model=payload.get("model"),
         rung_usage=payload.get("rung_usage"),
         mapping=payload.get("mapping"),
+        h1_mles=payload.get("h1_mles"),
     )
 
 

@@ -6,7 +6,8 @@ that conclusion rests on.  Following Nielsen (2002) and the
 uniformization sampler of Irvahn & Minin (arXiv:1403.5040), we draw
 substitution histories from the posterior ``P(history | data, MLEs)``
 and summarise them as expected synonymous / non-synonymous counts per
-branch per site.
+branch per site, with normal-approximation confidence intervals from
+the sample spread.
 
 One sample proceeds in four conditioned stages, each exact:
 
@@ -30,22 +31,54 @@ are discarded; real changes are classified synonymous vs
 non-synonymous with the genetic code's pair table — single-nucleotide
 by construction, since ``R`` inherits ``Q``'s sparsity.
 
-Averaging over ``n_samples`` histories gives Rao-Blackwell-free Monte
-Carlo estimates of ``E[N_syn]``, ``E[N_nonsyn]`` per (branch, site);
-their ratio next to the BEB table localises the inferred selection.
+Batched layout (DESIGN.md §14)
+------------------------------
+
+The per-class **inside CLVs** come from one level-order batched pass
+(:meth:`~repro.core.engine.BoundLikelihood.class_states`): the same
+stacked-operator machinery and class-graph sharing plan the evaluator
+uses, instead of a private per-child Python re-prune.  The draws
+themselves are array-wide: every stage pre-draws its uniform variates
+in a **canonical order**, then resolves them with vectorised
+categorical picks (columns are ``sample × pattern`` pairs), batched
+``R^k`` gathers from the shared power stacks, and an intermediate-state
+sampler that processes all columns of a branch with the same jump
+count in one gather.  The serial reference (``method="serial"``,
+``--map-serial``) consumes the *same* pre-drawn variates with the PR-9
+loop structure — per-sample, per-node, per-column — so the two paths
+are bit-identical by construction: every per-column float operation is
+the same regardless of how columns are grouped.
+
+Canonical uniform-variate order for seed ``s`` (both methods):
+
+1. ``u_class``  — ``(n_samples, n_patterns)``
+2. ``u_node``   — ``(1 + n_branches, n_samples·n_patterns)``; row 0 is
+   the root, row ``1+k`` the ``k``-th child visit in preorder order
+3. ``u_jump``   — ``(n_branches, n_samples·n_patterns)``, same row order
+4. ``u_inter``  — one flat draw sized by the realised jump counts;
+   column ``(k, j)``'s walk reads ``max(N−1, 0)`` consecutive variates
+   at the exclusive-cumsum offset of the C-ordered count array
+
+Averaging over ``n_samples`` histories gives Monte Carlo estimates of
+``E[N_syn]``, ``E[N_nonsyn]`` per (branch, site); their sample
+variances give the CIs next to the BEB table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.codon.classify import classification_table
-from repro.models.scaling import build_class_matrices
+from repro.likelihood.mixture import class_posteriors
 
 __all__ = ["SubstitutionMapping", "sample_substitution_mapping"]
+
+#: Two-sided 95% normal quantile for the CI half-widths.
+Z_95 = 1.959963984540054
 
 
 @dataclass
@@ -67,6 +100,22 @@ class SubstitutionMapping:
         sampled histories).
     n_samples:
         Histories averaged per site.
+    syn_var / nonsyn_var:
+        ``(n_branches, n_sites)`` sample variances (ddof=1) of the
+        per-history counts; ``None`` when uncertainty was not tracked
+        (hand-built instances) and all-zero when ``n_samples == 1``.
+    syn_total_var / nonsyn_total_var:
+        ``(n_branches,)`` sample variances of the per-history
+        *branch-total* counts (site-weighted sums per draw) — computed
+        from the per-draw totals, not by summing per-site variances,
+        because pattern expansion correlates sites.
+    fg_syn_site_var / fg_nonsyn_site_var:
+        ``(n_sites,)`` sample variances of the per-history counts
+        summed over the foreground branch(es).
+    seconds:
+        Sampler wall-clock (setup + draws), for the batch metrics.
+    method:
+        ``"batched"`` or ``"serial"`` — which draw path produced this.
     """
 
     branch_labels: List[str]
@@ -75,6 +124,14 @@ class SubstitutionMapping:
     syn: np.ndarray
     nonsyn: np.ndarray
     n_samples: int
+    syn_var: Optional[np.ndarray] = None
+    nonsyn_var: Optional[np.ndarray] = None
+    syn_total_var: Optional[np.ndarray] = None
+    nonsyn_total_var: Optional[np.ndarray] = None
+    fg_syn_site_var: Optional[np.ndarray] = None
+    fg_nonsyn_site_var: Optional[np.ndarray] = None
+    seconds: float = 0.0
+    method: str = "batched"
 
     @property
     def n_branches(self) -> int:
@@ -104,109 +161,468 @@ class SubstitutionMapping:
             )
         return rows
 
+    def _ci_halfwidth(self, variances: np.ndarray) -> np.ndarray:
+        """95% normal-approximation half-width of a mean-of-``n_samples``."""
+        return Z_95 * np.sqrt(np.maximum(variances, 0.0) / self.n_samples)
+
     def to_payload(self) -> Dict[str, object]:
-        """Compact journal payload (v7 ``mapping`` field).
+        """Compact journal payload (v7 ``mapping`` field, v8 additions).
 
         Per-branch totals always; the per-site table only for
         foreground branches (summed), which is what the report renders
         next to BEB — full per-branch-per-site matrices would bloat
-        the journal quadratically.
+        the journal quadratically.  Since v8 the payload additionally
+        carries ``mapping_ci`` (normal-approximation 95% CI half-widths
+        for the branch totals and the foreground site table),
+        ``seconds`` and ``method`` — all additive, so v7 readers (and
+        the pinned branch-row shape) are untouched.
         """
         fg = np.asarray(self.foreground, dtype=bool)
         fg_syn = self.syn[fg].sum(axis=0) if fg.any() else np.zeros(self.n_sites)
         fg_nonsyn = self.nonsyn[fg].sum(axis=0) if fg.any() else np.zeros(self.n_sites)
-        return {
+        payload: Dict[str, object] = {
             "n_samples": int(self.n_samples),
             "branches": self.branch_totals(),
             "foreground_sites": {
                 "syn": [round(float(x), 6) for x in fg_syn],
                 "nonsyn": [round(float(x), 6) for x in fg_nonsyn],
             },
+            "seconds": round(float(self.seconds), 6),
+            "method": self.method,
         }
+        if self.syn_total_var is not None and self.nonsyn_total_var is not None:
+            hw_syn = self._ci_halfwidth(self.syn_total_var)
+            hw_nonsyn = self._ci_halfwidth(self.nonsyn_total_var)
+            ci: Dict[str, object] = {
+                "level": 0.95,
+                "branches": [
+                    {
+                        "branch": label,
+                        "syn": round(float(hw_syn[b]), 6),
+                        "nonsyn": round(float(hw_nonsyn[b]), 6),
+                    }
+                    for b, label in enumerate(self.branch_labels)
+                ],
+            }
+            if self.fg_syn_site_var is not None and self.fg_nonsyn_site_var is not None:
+                ci["foreground_sites"] = {
+                    "syn": [
+                        round(float(x), 6)
+                        for x in self._ci_halfwidth(self.fg_syn_site_var)
+                    ],
+                    "nonsyn": [
+                        round(float(x), 6)
+                        for x in self._ci_halfwidth(self.fg_nonsyn_site_var)
+                    ],
+                }
+            payload["mapping_ci"] = ci
+        return payload
 
 
-def _sample_columns(weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """One categorical draw per column of a non-negative ``(S, m)`` array."""
-    cum = np.cumsum(weights, axis=0)
-    totals = cum[-1]
-    safe = np.where(totals > 0.0, totals, 1.0)
-    u = rng.random(weights.shape[1]) * safe
-    idx = (cum < u[None, :]).sum(axis=0)
-    return np.minimum(idx, weights.shape[0] - 1)
+# ----------------------------------------------------------------------
+# Shared categorical primitive
+# ----------------------------------------------------------------------
+# Both draw paths resolve every categorical with the same arithmetic:
+# cumulative sum along the category axis, scale the pre-drawn uniform by
+# the total (1.0 fallback for all-zero columns), count how many partial
+# sums it exceeds, clamp.  Per-column float operations are identical
+# under any column grouping, which is the whole bit-identity argument.
 
 
-def _rescale_columns(matrix: np.ndarray) -> None:
-    col_max = matrix.max(axis=0)
-    safe = np.where(col_max > 0, col_max, 1.0)
-    matrix /= safe[None, :]
+def _pick_cols(weights: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """One categorical draw per column of a non-negative ``(S, m)`` array.
 
-
-def _sample_branch_events(
-    uni,
-    a: np.ndarray,
-    b: np.ndarray,
-    t: float,
-    syn_mask: np.ndarray,
-    rng: np.random.Generator,
-) -> tuple:
-    """Endpoint-conditioned (syn, nonsyn) counts for one branch.
-
-    ``a``/``b`` are the sampled parent/child states per column; the
-    jump count and intermediate states come from ``uni``'s cached
-    powers (stages 3–4 of the module docstring).
+    Consumes ``weights`` in place (every call site builds it as a fresh
+    product).  ``count(cum < thr)`` is computed as the first index where
+    the monotone cumulative column reaches the threshold — identical
+    indices (an all-below column shows up as a False last element and
+    resolves to the historical clamp), but ``argmax`` on booleans
+    short-circuits where the counting reduction always scanned all S.
     """
-    m = a.shape[0]
-    syn_c = np.zeros(m)
-    nonsyn_c = np.zeros(m)
-    if uni.mu * t == 0.0:
-        return syn_c, nonsyn_c
-    weights = uni.jump_weights(t)
-    k_max = weights.shape[0] - 1
-    uni.power(k_max)  # extend the shared power cache once
-    contrib = np.empty((k_max + 1, m))
-    for n in range(k_max + 1):
-        contrib[n] = weights[n] * uni.power(n)[a, b]
-    cum = np.cumsum(contrib, axis=0)
+    cum = np.cumsum(weights, axis=0, out=weights)
     totals = cum[-1]
     safe = np.where(totals > 0.0, totals, 1.0)
-    u = rng.random(m) * safe
-    jumps = (cum < u[None, :]).sum(axis=0)
-    jumps = np.minimum(jumps, k_max)
+    ge = cum >= (u * safe)[None, :]
+    idx = ge.argmax(axis=0)
+    idx[~ge[-1]] = weights.shape[0] - 1
+    return idx
+
+
+def _pick_rows(weights: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """One categorical draw per row of a non-negative ``(m, S)`` array.
+
+    Same contract and threshold arithmetic as :func:`_pick_cols`
+    (consumes ``weights``; first-reach index ≡ below-threshold count).
+    """
+    cum = np.cumsum(weights, axis=1, out=weights)
+    totals = cum[:, -1]
+    safe = np.where(totals > 0.0, totals, 1.0)
+    ge = cum >= (u * safe)[:, None]
+    idx = ge.argmax(axis=1)
+    idx[~ge[:, -1]] = weights.shape[1] - 1
+    return idx
+
+
+def _pick_jumps(contrib: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Endpoint-conditioned jump counts from a ``(K+1, m)`` weight array.
+
+    Identical to :func:`_pick_cols` except that an all-zero column
+    (an endpoint pair the truncated series deems unreachable) resolves
+    to zero jumps instead of the clamp index.
+    """
+    cum = np.cumsum(contrib, axis=0, out=contrib)
+    totals = cum[-1]
+    safe = np.where(totals > 0.0, totals, 1.0)
+    ge = cum >= (u * safe)[None, :]
+    jumps = ge.argmax(axis=0)
     jumps[totals <= 0.0] = 0
-    r = uni.r
-    for j in np.nonzero(jumps > 0)[0]:
-        n_j = int(jumps[j])
-        state = int(a[j])
-        target = int(b[j])
-        for k in range(1, n_j):
-            w = r[state, :] * uni.power(n_j - k)[:, target]
-            cw = np.cumsum(w)
-            if cw[-1] <= 0.0:
-                break
-            nxt = int(np.searchsorted(cw, rng.random() * cw[-1], side="right"))
-            nxt = min(nxt, w.shape[0] - 1)
-            if nxt != state:
-                if syn_mask[state, nxt]:
-                    syn_c[j] += 1.0
+    return jumps
+
+
+@dataclass
+class _Plan:
+    """Everything both draw paths share for one sampling problem."""
+
+    classes: List
+    class_post: np.ndarray
+    inside: List[List[np.ndarray]]  # [class][node] -> (S, n_patterns)
+    unis: Dict[float, object]
+    p_matrix: object  # callable (omega, t) -> dense P
+    visits: List[Tuple[int, int, int, float, bool]]  # (k, child, parent, t, fg)
+    root_index: int
+    pi: np.ndarray
+    syn_mask: np.ndarray
+    n_patterns: int
+    n_samples: int
+    jump_weights: Dict[Tuple[float, float], np.ndarray] = field(default_factory=dict)
+
+    @property
+    def m_total(self) -> int:
+        return self.n_samples * self.n_patterns
+
+    def omega_of(self, cls, fg: bool) -> float:
+        return cls.omega_foreground if fg else cls.omega_background
+
+    def weights_for(self, omega: float, t: float) -> np.ndarray:
+        key = (omega, t)
+        w = self.jump_weights.get(key)
+        if w is None:
+            w = self.unis[omega].jump_weights(t)
+            self.jump_weights[key] = w
+        return w
+
+
+def _draw_uniforms(plan: _Plan, rng: np.random.Generator):
+    """Stages 1–3's uniforms in the canonical order (module docstring).
+
+    ``u_jump`` rows are pre-drawn for *every* branch — zero-length
+    branches simply ignore theirs — so consumption never diverges
+    between methods or across branch-length vectors of equal shape.
+    """
+    n_branches = len(plan.visits)
+    u_class = rng.random((plan.n_samples, plan.n_patterns))
+    u_node = rng.random((1 + n_branches, plan.m_total))
+    u_jump = rng.random((n_branches, plan.m_total))
+    return u_class, u_node, u_jump
+
+
+def _inter_offsets(jumps_all: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Exclusive-cumsum offsets into ``u_inter`` for every (branch, column).
+
+    The walk of column ``(k, j)`` consumes ``max(N_kj − 1, 0)``
+    consecutive variates starting at ``offsets[k, j]`` — C-order over
+    the ``(n_branches, m_total)`` count array, the canonical layout
+    both methods index identically.
+    """
+    inter_counts = np.maximum(jumps_all - 1, 0).astype(np.int64)
+    flat = inter_counts.ravel()
+    offsets = np.concatenate(([0], np.cumsum(flat)[:-1])).reshape(jumps_all.shape)
+    return offsets, int(flat.sum())
+
+
+# ----------------------------------------------------------------------
+# Serial reference (PR-9 loop structure over the canonical variates)
+# ----------------------------------------------------------------------
+def _sample_histories_serial(
+    plan: _Plan, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sample / per-node / per-column loops; the ``--map-serial`` gate.
+
+    Returns per-history count tensors ``(n_branches, m_total)`` whose
+    flat column ``j = sample · n_patterns + pattern``.
+    """
+    n_branches = len(plan.visits)
+    n_patterns = plan.n_patterns
+    m_total = plan.m_total
+    u_class, u_node, u_jump = _draw_uniforms(plan, rng)
+
+    cls_idx = np.empty((plan.n_samples, n_patterns), dtype=np.intp)
+    for s in range(plan.n_samples):
+        # _pick_cols consumes its weights; keep the plan's posterior intact.
+        cls_idx[s] = _pick_cols(plan.class_post.copy(), u_class[s])
+
+    node_states: Dict[int, np.ndarray] = {}
+    jumps_all = np.zeros((n_branches, m_total), dtype=np.intp)
+    a_all = np.empty((n_branches, m_total), dtype=np.intp)
+    b_all = np.empty((n_branches, m_total), dtype=np.intp)
+    cls_of_col = np.empty(m_total, dtype=np.intp)
+
+    # Stages 2–3, per sample then per class (the PR-9 grouping).
+    for s in range(plan.n_samples):
+        base = s * n_patterns
+        for ci, cls in enumerate(plan.classes):
+            cols = np.flatnonzero(cls_idx[s] == ci)
+            if cols.size == 0:
+                continue
+            j = base + cols
+            cls_of_col[j] = ci
+            inside = plan.inside[ci]
+            root_w = plan.pi[:, None] * inside[plan.root_index][:, cols]
+            node_states[plan.root_index] = _pick_cols(root_w, u_node[0, j])
+            for k, child, parent, t, fg in plan.visits:
+                parent_states = node_states[parent]
+                omega = plan.omega_of(cls, fg)
+                p = plan.p_matrix(omega, t)
+                # Exact joint conditional: rows of P at the sampled
+                # parent state, shaped (S, m), times L_child.
+                w = p[parent_states, :].T * inside[child][:, cols]
+                child_states = _pick_cols(w, u_node[1 + k, j])
+                node_states[child] = child_states
+                a_all[k, j] = parent_states
+                b_all[k, j] = child_states
+                uni = plan.unis[omega]
+                if uni.mu * t == 0.0:
+                    continue
+                weights = plan.weights_for(omega, t)
+                k_max = weights.shape[0] - 1
+                uni.power(k_max)  # extend the shared power cache once
+                contrib = np.empty((k_max + 1, cols.size))
+                for n in range(k_max + 1):
+                    contrib[n] = weights[n] * uni.power(n)[parent_states, child_states]
+                jumps_all[k, j] = _pick_jumps(contrib, u_jump[k, j])
+                uni.note_draws(cols.size)
+
+    offsets, total_inter = _inter_offsets(jumps_all)
+    u_inter = rng.random(total_inter)
+
+    syn_c = np.zeros((n_branches, m_total))
+    nonsyn_c = np.zeros((n_branches, m_total))
+    syn_mask = plan.syn_mask
+    # Stage 4, per column: the scalar jump-chain walk of PR 9.
+    for k, child, parent, t, fg in plan.visits:
+        jumps_k = jumps_all[k]
+        for j in np.nonzero(jumps_k > 0)[0]:
+            n_j = int(jumps_k[j])
+            omega = plan.omega_of(plan.classes[cls_of_col[j]], fg)
+            uni = plan.unis[omega]
+            r = uni.r
+            state = int(a_all[k, j])
+            target = int(b_all[k, j])
+            off = int(offsets[k, j])
+            for step in range(1, n_j):
+                w = r[state, :] * uni.power(n_j - step)[:, target]
+                cw = np.cumsum(w)
+                tot = cw[-1]
+                safe = tot if tot > 0.0 else 1.0
+                nxt = int((cw < u_inter[off + step - 1] * safe).sum())
+                nxt = min(nxt, w.shape[0] - 1)
+                if nxt != state:
+                    if syn_mask[state, nxt]:
+                        syn_c[k, j] += 1.0
+                    else:
+                        nonsyn_c[k, j] += 1.0
+                state = nxt
+            # The final jump lands on the conditioned endpoint by
+            # construction; only a real change counts.
+            if state != target:
+                if syn_mask[state, target]:
+                    syn_c[k, j] += 1.0
                 else:
-                    nonsyn_c[j] += 1.0
-            state = nxt
-        # The final jump lands on the conditioned endpoint by
-        # construction; only a real change counts.
-        if state != target:
-            if syn_mask[state, target]:
-                syn_c[j] += 1.0
-            else:
-                nonsyn_c[j] += 1.0
+                    nonsyn_c[k, j] += 1.0
     return syn_c, nonsyn_c
 
 
+# ----------------------------------------------------------------------
+# Batched path (array-wide draws over all samples × patterns at once)
+# ----------------------------------------------------------------------
+def _sample_histories_batched(
+    plan: _Plan, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised stages 1–4 over the same canonical variates.
+
+    Same return contract as :func:`_sample_histories_serial`, bit for
+    bit: the grouping differs (all samples at once; stage 4 grouped by
+    jump count) but every column resolves the same uniforms with the
+    same per-column arithmetic.
+    """
+    n_branches = len(plan.visits)
+    n_patterns = plan.n_patterns
+    m_total = plan.m_total
+    n_classes = len(plan.classes)
+    u_class, u_node, u_jump = _draw_uniforms(plan, rng)
+
+    # Stage 1 — all samples at once: tile the per-pattern class weights
+    # across the flat columns and resolve every u_class in one pick.
+    pat_idx = np.tile(np.arange(n_patterns), plan.n_samples)
+    cls_flat = _pick_cols(plan.class_post[:, pat_idx], u_class.ravel())
+
+    # Per-class column groups, for the ω-keyed stages below.
+    class_cols = [np.flatnonzero(cls_flat == ci) for ci in range(n_classes)]
+
+    def inside_rows(node: int) -> np.ndarray:
+        """``L_node[x, pattern_j]`` per flat column ``j``, shaped ``(m, S)``.
+
+        One stacked gather across all classes at once: each column
+        reads its *own* class's inside vector (stacking copies, so the
+        values are bit-identical to the per-class arrays).
+        """
+        stacked = np.stack([plan.inside[ci][node] for ci in range(n_classes)])
+        return stacked[cls_flat, :, pat_idx]
+
+    _omega_cols_memo: Dict[bool, list] = {}
+
+    def omega_cols(fg: bool):
+        """Column groups keyed by this branch's ω (classes merged).
+
+        Stages 3–4 condition only on the branch generator, not the
+        class, so classes sharing an ω (model A's background ties)
+        walk together — fewer, larger vector operations with per-column
+        arithmetic unchanged.  The grouping depends only on the
+        foreground flag, so it is computed once per flag value.
+        """
+        cached = _omega_cols_memo.get(fg)
+        if cached is not None:
+            return cached
+        groups: Dict[float, List[int]] = {}
+        for ci, cls in enumerate(plan.classes):
+            groups.setdefault(plan.omega_of(cls, fg), []).append(ci)
+        out = []
+        for omega, cis in groups.items():
+            cols = (
+                class_cols[cis[0]]
+                if len(cis) == 1
+                else np.concatenate([class_cols[ci] for ci in cis])
+            )
+            if cols.size:
+                out.append((omega, cols))
+        _omega_cols_memo[fg] = out
+        return out
+
+    # Stage 2 — joint node states, top-down, ONE pick per visit: the
+    # class-dependent operands (P rows, inside columns) are resolved by
+    # stacked gathers so every flat column draws in the same call.
+    node_states: Dict[int, np.ndarray] = {}
+    w = plan.pi[None, :] * inside_rows(plan.root_index)
+    node_states[plan.root_index] = _pick_rows(w, u_node[0])
+
+    a_all = np.empty((n_branches, m_total), dtype=np.intp)
+    b_all = np.empty((n_branches, m_total), dtype=np.intp)
+    jumps_all = np.zeros((n_branches, m_total), dtype=np.intp)
+    for k, child, parent, t, fg in plan.visits:
+        parent_states = node_states[parent]
+        p_stack = np.stack(
+            [plan.p_matrix(plan.omega_of(cls, fg), t) for cls in plan.classes]
+        )
+        w = p_stack[cls_flat, parent_states, :] * inside_rows(child)
+        child_states = _pick_rows(w, u_node[1 + k])
+        node_states[child] = child_states
+        a_all[k] = parent_states
+        b_all[k] = child_states
+
+        # Stage 3 — endpoint-conditioned jump counts: one pick per
+        # visit.  Each ω group fills its own columns of a shared
+        # contribution table (zero-padded past its truncation depth —
+        # trailing zeros leave the per-column cumulative weights flat,
+        # so the draw is unchanged) and a single categorical pick
+        # resolves every site at once.
+        groups = [
+            (omega, cols)
+            for omega, cols in omega_cols(fg)
+            if plan.unis[omega].mu * t != 0.0
+        ]
+        if groups:
+            series = {omega: plan.weights_for(omega, t) for omega, _ in groups}
+            k_hi = max(w.shape[0] for w in series.values()) - 1
+            all_cols = np.concatenate([cols for _, cols in groups])
+            contrib = np.zeros((k_hi + 1, all_cols.size))
+            pos = 0
+            for omega, cols in groups:
+                uni = plan.unis[omega]
+                weights = series[omega]
+                stack = uni.power_stack(weights.shape[0] - 1)
+                contrib[: weights.shape[0], pos : pos + cols.size] = (
+                    weights[:, None]
+                    * stack[:, parent_states[cols], child_states[cols]]
+                )
+                uni.note_draws(cols.size)
+                pos += cols.size
+            jumps_all[k, all_cols] = _pick_jumps(contrib, u_jump[k, all_cols])
+
+    offsets, total_inter = _inter_offsets(jumps_all)
+    u_inter = rng.random(total_inter)
+
+    # Stage 4 — intermediate states: ``R`` and its power stack depend
+    # only on ω — never on the branch length, which stage 3 already
+    # consumed — so every event-bearing column in the *whole tree* with
+    # the same generator walks in one lockstep loop by step index (a
+    # column with ``n_j`` jumps participates in steps ``1..n_j-1``).
+    # Each column still reads its own ``u_inter`` slice via the global
+    # offsets and lands in its own ``(branch, column)`` cell, so the
+    # per-column arithmetic (``R[s,·]·R^{n_j-step}[·,b_j]``, cumsum,
+    # threshold) matches the per-branch walk bit for bit.
+    syn_c = np.zeros((n_branches, m_total))
+    nonsyn_c = np.zeros((n_branches, m_total))
+    syn_mask = plan.syn_mask
+    by_omega: Dict[float, list] = {}
+    for k, child, parent, t, fg in plan.visits:
+        jumps_k = jumps_all[k]
+        for omega, cols in omega_cols(fg):
+            live = cols[jumps_k[cols] >= 1]
+            if live.size:
+                by_omega.setdefault(omega, []).append((k, live))
+    for omega, parts in by_omega.items():
+        uni = plan.unis[omega]
+        r = uni.r
+        br_vec = np.concatenate(
+            [np.full(live.size, k, dtype=np.intp) for k, live in parts]
+        )
+        col_vec = np.concatenate([live for _, live in parts])
+        n_vec = jumps_all[br_vec, col_vec]
+        state_vec = a_all[br_vec, col_vec]
+        target_vec = b_all[br_vec, col_vec]
+        off_vec = offsets[br_vec, col_vec]
+        n_max = int(n_vec.max())
+        stack = uni.power_stack(n_max)
+        for step in range(1, n_max):
+            mask = n_vec > step
+            sub_br = br_vec[mask]
+            sub_col = col_vec[mask]
+            sub_state = state_vec[mask]
+            sub_target = target_vec[mask]
+            w = r[sub_state, :] * stack[n_vec[mask] - step, :, sub_target]
+            nxt = _pick_rows(w, u_inter[off_vec[mask] + step - 1])
+            changed = nxt != sub_state
+            if changed.any():
+                is_syn = syn_mask[sub_state, nxt] & changed
+                syn_c[sub_br, sub_col] += is_syn
+                nonsyn_c[sub_br, sub_col] += changed & ~is_syn
+            state_vec[mask] = nxt
+        changed = state_vec != target_vec
+        if changed.any():
+            is_syn = syn_mask[state_vec, target_vec] & changed
+            syn_c[br_vec, col_vec] += is_syn
+            nonsyn_c[br_vec, col_vec] += changed & ~is_syn
+    return syn_c, nonsyn_c
+
+
+# ----------------------------------------------------------------------
 def sample_substitution_mapping(
     bound,
     values: Dict[str, float],
     branch_lengths: Optional[Sequence[float]] = None,
     n_samples: int = 16,
     seed: int = 0,
+    method: str = "batched",
 ) -> SubstitutionMapping:
     """Sample substitution histories for a bound problem at ``values``.
 
@@ -222,16 +638,26 @@ def sample_substitution_mapping(
         Histories per site; the returned counts are means over them.
     seed:
         Seed for the sampler's private generator (reproducible runs).
+    method:
+        ``"batched"`` (default) or ``"serial"``; bit-identical outputs
+        for the same seed (see module docstring), the serial path being
+        the PR-9-shaped reference the benchmark gate compares against.
 
     Notes
     -----
     Uniformized kernels are obtained through the engine's
     ``_uniformized_for`` memo, so a recovery rung 4 that already fired
     during the fit shares its cached powers of ``R`` with the sampler
-    (and vice versa).
+    (and vice versa); the per-class inside CLVs come from one batched
+    level-order pass (``BoundLikelihood.class_states``), sharing the
+    transition cache and the class graph's subtree aliasing with the
+    fit that produced ``values``.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
+    if method not in ("batched", "serial"):
+        raise ValueError(f"method must be 'batched' or 'serial', got {method!r}")
+    start = time.perf_counter()
     tree = bound.tree
     patterns = bound.patterns
     pi = bound.pi
@@ -241,26 +667,31 @@ def sample_substitution_mapping(
         else bound.branch_lengths
     )
     engine = bound.engine
-    graph = bound.model.site_class_graph(values)
+
+    # Batched conditionals: one level-order pass fills every node's
+    # inside CLV for every class (sharing plan included), plus the exact
+    # class log-likelihood matrix the NEB posteriors need.
+    class_lnl, graph, decomps, states = bound.class_states(values, lengths)
     classes = graph.nodes
-    matrices = build_class_matrices(values["kappa"], classes, pi, engine.code)
-    decomps = {omega: engine._decompose(matrix) for omega, matrix in matrices.items()}
+    class_post = class_posteriors(class_lnl, graph.proportions)
     unis = {omega: engine._uniformized_for(decomp) for omega, decomp in decomps.items()}
 
     non_root = [n for n in tree.nodes if not n.is_root]
     pos_of = {n.index: k for k, n in enumerate(non_root)}
-    n_nodes = len(tree.nodes)
     n_patterns = patterns.n_patterns
-    n_states = pi.shape[0]
-    leaf_clvs = bound._leaf_clvs
 
-    class_lnl, proportions = bound.site_class_matrix(values, lengths)
-    from repro.likelihood.mixture import class_posteriors
+    inside: List[List[np.ndarray]] = []
+    for ci in range(len(classes)):
+        state = states[ci]
+        missing = state.missing_nodes()
+        if missing:
+            raise RuntimeError(
+                f"class {ci} pruning state left nodes {missing} without CLVs"
+            )
+        inside.append(list(state.clvs))
 
-    class_post = class_posteriors(class_lnl, proportions)
-
-    # Dense P(t) per (ω, t) via the LRU operator cache, and per-class
-    # inside vectors — both fixed across samples, computed once.
+    # Dense P(t) per (ω, t) via the LRU operator cache — fixed across
+    # samples, computed once, token-aligned with the evaluation above.
     p_memo: Dict[tuple, np.ndarray] = {}
 
     def p_matrix(omega: float, t: float) -> np.ndarray:
@@ -270,73 +701,91 @@ def sample_substitution_mapping(
             p_memo[key] = engine._operator_probability_matrix(op)
         return p_memo[key]
 
-    def branch_omega(cls, node) -> float:
-        return cls.omega_foreground if node.foreground else cls.omega_background
-
-    inside_by_class: List[List[Optional[np.ndarray]]] = []
-    for cls in classes:
-        inside: List[Optional[np.ndarray]] = [None] * n_nodes
-        for i, clv in enumerate(leaf_clvs):
-            inside[i] = clv
-        for node in tree.postorder():
-            if node.is_leaf:
-                continue
-            acc = np.ones((n_states, n_patterns))
-            for child in node.children:
-                t = float(lengths[pos_of[child.index]])
-                acc *= p_matrix(branch_omega(cls, child), t) @ inside[child.index]
-            _rescale_columns(acc)
-            inside[node.index] = acc
-        inside_by_class.append(inside)
-
-    syn_mask = classification_table(engine.code).synonymous
-    rng = np.random.default_rng(seed)
-    syn = np.zeros((len(non_root), n_patterns))
-    nonsyn = np.zeros((len(non_root), n_patterns))
-    all_cols = np.arange(n_patterns)
-    class_cum = np.cumsum(class_post, axis=0)
-
-    for _ in range(n_samples):
-        u = rng.random(n_patterns)
-        cls_idx = (class_cum < u[None, :]).sum(axis=0)
-        cls_idx = np.minimum(cls_idx, len(classes) - 1)
-        for ci, cls in enumerate(classes):
-            cols = all_cols[cls_idx == ci]
-            if cols.size == 0:
-                continue
-            inside = inside_by_class[ci]
-            states: Dict[int, np.ndarray] = {
-                tree.root.index: _sample_columns(
-                    pi[:, None] * inside[tree.root.index][:, cols], rng
+    # Preorder child visits: the canonical branch order of the variate
+    # matrices (row 1+k of u_node, row k of u_jump).
+    visits: List[Tuple[int, int, int, float, bool]] = []
+    for node in tree.preorder():
+        for child in node.children:
+            visits.append(
+                (
+                    len(visits),
+                    child.index,
+                    node.index,
+                    float(lengths[pos_of[child.index]]),
+                    bool(child.foreground),
                 )
-            }
-            for node in tree.preorder():
-                parent_states = states[node.index]
-                for child in node.children:
-                    t = float(lengths[pos_of[child.index]])
-                    omega = branch_omega(cls, child)
-                    p = p_matrix(omega, t)
-                    # Exact joint conditional: rows of P at the sampled
-                    # parent state, shaped (S, m), times L_child.
-                    w = p[parent_states, :].T * inside[child.index][:, cols]
-                    child_states = _sample_columns(w, rng)
-                    states[child.index] = child_states
-                    s_add, n_add = _sample_branch_events(
-                        unis[omega], parent_states, child_states, t, syn_mask, rng
-                    )
-                    syn[pos_of[child.index], cols] += s_add
-                    nonsyn[pos_of[child.index], cols] += n_add
+            )
 
-    syn /= n_samples
-    nonsyn /= n_samples
+    plan = _Plan(
+        classes=list(classes),
+        class_post=class_post,
+        inside=inside,
+        unis=unis,
+        p_matrix=p_matrix,
+        visits=visits,
+        root_index=tree.root.index,
+        pi=pi,
+        syn_mask=classification_table(engine.code).synonymous,
+        n_patterns=n_patterns,
+        n_samples=n_samples,
+    )
+
+    rng = np.random.default_rng(seed)
+    sampler = (
+        _sample_histories_batched if method == "batched" else _sample_histories_serial
+    )
+    syn_c, nonsyn_c = sampler(plan, rng)
+
+    # Reorder visit rows into the engine's branch-vector order before
+    # summarising (counts were accumulated per visit).
+    n_branches = len(non_root)
+    visit_to_pos = np.empty(n_branches, dtype=np.intp)
+    for k, child, _, _, _ in visits:
+        visit_to_pos[k] = pos_of[child]
+    order = np.argsort(visit_to_pos)
+    syn_c = syn_c[order].reshape(n_branches, n_samples, n_patterns)
+    nonsyn_c = nonsyn_c[order].reshape(n_branches, n_samples, n_patterns)
+
+    weights = np.asarray(patterns.weights, dtype=float)
+    fg_flags = np.asarray([bool(n.foreground) for n in non_root], dtype=bool)
+
+    def summarise(counts: np.ndarray):
+        mean = counts.mean(axis=1)
+        if n_samples > 1:
+            site_var = counts.var(axis=1, ddof=1)
+            totals = counts @ weights  # (n_branches, n_samples) per-draw totals
+            total_var = totals.var(axis=1, ddof=1)
+            fg_draws = (
+                counts[fg_flags].sum(axis=0)
+                if fg_flags.any()
+                else np.zeros((n_samples, n_patterns))
+            )
+            fg_var = fg_draws.var(axis=0, ddof=1)
+        else:
+            site_var = np.zeros_like(mean)
+            total_var = np.zeros(counts.shape[0])
+            fg_var = np.zeros(n_patterns)
+        return mean, site_var, total_var, fg_var
+
+    syn_mean, syn_site_var, syn_total_var, fg_syn_var = summarise(syn_c)
+    nonsyn_mean, nonsyn_site_var, nonsyn_total_var, fg_nonsyn_var = summarise(nonsyn_c)
+
     labels = [n.name if n.name else f"node#{n.index}" for n in non_root]
     return SubstitutionMapping(
         branch_labels=labels,
-        foreground=[bool(n.foreground) for n in non_root],
+        foreground=[bool(f) for f in fg_flags],
         branch_lengths=np.asarray(
             [float(lengths[pos_of[n.index]]) for n in non_root]
         ),
-        syn=patterns.expand(syn, axis=1),
-        nonsyn=patterns.expand(nonsyn, axis=1),
+        syn=patterns.expand(syn_mean, axis=1),
+        nonsyn=patterns.expand(nonsyn_mean, axis=1),
         n_samples=n_samples,
+        syn_var=patterns.expand(syn_site_var, axis=1),
+        nonsyn_var=patterns.expand(nonsyn_site_var, axis=1),
+        syn_total_var=syn_total_var,
+        nonsyn_total_var=nonsyn_total_var,
+        fg_syn_site_var=patterns.expand(fg_syn_var, axis=0),
+        fg_nonsyn_site_var=patterns.expand(fg_nonsyn_var, axis=0),
+        seconds=time.perf_counter() - start,
+        method=method,
     )

@@ -177,6 +177,16 @@ class PruningState:
             ready=self.ready,
         )
 
+    def missing_nodes(self) -> List[int]:
+        """Node indices whose CLV is still unfilled.
+
+        The stochastic-mapping sampler conditions on *every* node's
+        inside CLV; asserting this is empty after a populating pass
+        turns a silent ``None`` dereference into a named precondition
+        failure.
+        """
+        return [i for i, clv in enumerate(self.clvs) if clv is None]
+
     def total_log_scalers(self, n_patterns: int) -> np.ndarray:
         """Sum per-node rescale vectors in completion order.
 

@@ -47,7 +47,7 @@ from repro.core.engine import make_engine
 from repro.core.recovery import FitDiagnostics, RecoveryConfig, RecoveryPolicy
 from repro.io.results_io import ResultJournal
 from repro.models.registry import resolve_model_spec
-from repro.optimize.lrt import LRTResult, likelihood_ratio_test
+from repro.optimize.lrt import LRTResult, holm_correction, likelihood_ratio_test
 from repro.optimize.ml import fit_branch_site_test
 from repro.parallel.executors.base import Executor
 from repro.parallel.executors.wire import register_struct
@@ -62,6 +62,7 @@ __all__ = [
     "BranchScanResult",
     "analyze_genes",
     "scan_branches",
+    "map_survey_candidates",
     "branch_label",
 ]
 
@@ -158,6 +159,13 @@ class GeneResult:
     #: ``{"error": ...}`` when sampling failed without sinking the task,
     #: ``None`` when mapping was not requested.
     mapping: Optional[Dict] = None
+    #: H1 maximum-likelihood point (``{"values": {...}, "branch_lengths":
+    #: [...]}``) kept when the coordinator asked for it (``keep_mles``)
+    #: — the survey's one-pass mapper re-binds each significant
+    #: candidate at *its own* MLEs after Holm selection, without
+    #: re-fitting.  ``None`` otherwise (the default: journals stay
+    #: lean).
+    h1_mles: Optional[Dict] = None
 
     @property
     def failed(self) -> bool:
@@ -244,7 +252,8 @@ def _run_gene(args: Tuple) -> GeneResult:
                             model=spec.spec, recover=recover, mapping=mapping)
 
 
-def _run_mapping(bind, spec, test, map_samples: Optional[int], seed) -> Optional[Dict]:
+def _run_mapping(bind, spec, test, map_samples: Optional[int], seed,
+                 method: str = "batched") -> Optional[Dict]:
     """Sample substitution histories at the H1 MLEs (``--map``).
 
     A sampling failure must not sink an otherwise finished test (the
@@ -263,6 +272,7 @@ def _run_mapping(bind, spec, test, map_samples: Optional[int], seed) -> Optional
             branch_lengths=test.h1.branch_lengths,
             n_samples=int(map_samples),
             seed=int(seed) if np.isscalar(seed) else 0,
+            method=method,
         ).to_payload()
     except Exception as exc:  # noqa: BLE001 — mapping is strictly additive
         return {"error": f"{type(exc).__name__}: {exc}"}
@@ -272,7 +282,8 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
                      setup_seconds: float = 0.0,
                      model: Optional[str] = None,
                      recover: bool = False,
-                     mapping: Optional[Dict] = None) -> GeneResult:
+                     mapping: Optional[Dict] = None,
+                     keep_mles: bool = False) -> GeneResult:
     clv_stats = None
     if incremental:
         stats = engine.cache_stats()
@@ -283,6 +294,12 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
     rung_usage = None
     if recover and engine.rung_usage:
         rung_usage = {k: int(v) for k, v in engine.rung_usage.items()}
+    h1_mles = None
+    if keep_mles:
+        h1_mles = {
+            "values": {k: float(v) for k, v in test.h1.values.items()},
+            "branch_lengths": [float(x) for x in test.h1.branch_lengths],
+        }
     return GeneResult(
         gene_id=gene_id,
         lnl0=test.h0.lnl,
@@ -298,6 +315,7 @@ def _assemble_result(gene_id: str, test, engine, incremental: bool,
         model=model,
         rung_usage=rung_usage,
         mapping=mapping,
+        h1_mles=h1_mles,
     )
 
 
@@ -310,6 +328,8 @@ def _build_shared_context(
     batched: Optional[bool] = None,
     model: Optional[str] = None,
     map_samples: Optional[int] = None,
+    map_serial: bool = False,
+    keep_mles: bool = False,
 ) -> Tuple[Dict, List[Tuple[int, int]]]:
     """Deduplicate batch state and precompute per-alignment derivations.
 
@@ -363,6 +383,8 @@ def _build_shared_context(
         "max_iterations": max_iterations,
         "model": model,
         "map_samples": map_samples,
+        "map_serial": map_serial,
+        "keep_mles": keep_mles,
         "newicks": newicks,
         "alignments": alignments,
     }
@@ -420,6 +442,8 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
     batched = context.get("batched")  # absent in pre-batched contexts
     spec = resolve_model_spec(context.get("model"))  # absent in pre-spec contexts
     map_samples = context.get("map_samples")  # absent in pre-mapping contexts
+    map_serial = bool(context.get("map_serial"))  # absent in pre-v8 contexts
+    keep_mles = bool(context.get("keep_mles"))  # absent in pre-v8 contexts
     engine = make_engine(
         context["engine"], recovery=RecoveryConfig() if recover else None
     )
@@ -432,10 +456,12 @@ def _run_gene_shared(payload: Tuple, context: Dict) -> GeneResult:
         recovery=RecoveryPolicy() if recover else None,
         models=spec.pair(),
     )
-    mapping = _run_mapping(bind, spec, test, map_samples, seed)
+    mapping = _run_mapping(bind, spec, test, map_samples, seed,
+                           method="serial" if map_serial else "batched")
     return _assemble_result(gene_id, test, engine, incremental,
                             setup_seconds=setup, model=spec.spec,
-                            recover=recover, mapping=mapping)
+                            recover=recover, mapping=mapping,
+                            keep_mles=keep_mles)
 
 
 def analyze_genes(
@@ -455,6 +481,8 @@ def analyze_genes(
     batched: Optional[bool] = None,
     model: Optional[str] = None,
     map_samples: Optional[int] = None,
+    map_serial: bool = False,
+    keep_mles: bool = False,
 ) -> List[GeneResult]:
     """Run the branch-site test for every gene over an executor.
 
@@ -520,6 +548,16 @@ def analyze_genes(
         attaches the per-branch event payload to
         ``GeneResult.mapping``.  ``None``/``0`` = off (the default; the
         fit itself is untouched either way).
+    map_serial:
+        Draw mapping histories with the reference serial sampler
+        instead of the batched one (``--map-serial``, the bit-identity
+        gate).  Rides the broadcast context only — custom workers keep
+        their historical tuple shape and always use the default method.
+    keep_mles:
+        Attach each task's H1 maximum-likelihood point to
+        ``GeneResult.h1_mles`` so a coordinator can re-bind candidates
+        after the scan (the survey's one-pass mapper).  Context-only,
+        like ``map_serial``.
 
     Returns
     -------
@@ -555,6 +593,7 @@ def analyze_genes(
         context, keys = _build_shared_context(
             pending_jobs, engine, recover, incremental, max_iterations,
             batched=batched, model=model, map_samples=map_samples,
+            map_serial=map_serial, keep_mles=keep_mles,
         )
         payloads = [
             (job.gene_id, ni, job.fg_node, ai, s)
@@ -656,6 +695,21 @@ class BranchScanResult:
             if lrt.significant(alpha)
         ]
 
+    def holm_significant(self, alpha: float = 0.05) -> List[str]:
+        """Branch labels surviving Holm-Bonferroni at family-wise ``alpha``.
+
+        Same correction (and the same sorted-label ordering) as the
+        survey report, so the labels here are exactly the rows the
+        report marks POSITIVE SELECTION — the set ``scan --survey
+        --map`` feeds the one-pass mapper.
+        """
+        branches = sorted(self.by_branch)
+        if not branches:
+            return []
+        raw = np.array([self.by_branch[b].pvalue_chi2 for b in branches])
+        adjusted = holm_correction(raw)
+        return [b for b, adj in zip(branches, adjusted) if adj < alpha]
+
     def raise_on_failure(self) -> "BranchScanResult":
         """Opt back into the old fail-fast contract (first failure raises)."""
         if self.failures:
@@ -701,6 +755,8 @@ def scan_branches(
     batched: Optional[bool] = None,
     model: Optional[str] = None,
     map_samples: Optional[int] = None,
+    map_serial: bool = False,
+    keep_mles: bool = False,
 ) -> BranchScanResult:
     """Test every candidate branch of one gene as foreground in turn.
 
@@ -755,6 +811,8 @@ def scan_branches(
         batched=batched,
         model=model,
         map_samples=map_samples,
+        map_serial=map_serial,
+        keep_mles=keep_mles,
     )
     by_branch: Dict[str, LRTResult] = {}
     failures: Dict[str, TaskFailure] = {}
@@ -773,3 +831,95 @@ def scan_branches(
     return BranchScanResult(
         gene_id=gene_id, by_branch=by_branch, failures=failures, gene_results=list(results)
     )
+
+
+def map_survey_candidates(
+    gene_id: str,
+    tree: Tree,
+    alignment: CodonAlignment,
+    scan: BranchScanResult,
+    labels: Sequence[str],
+    engine: str = "slim",
+    map_samples: int = 16,
+    seed: int = 1,
+    model: Optional[str] = None,
+    batched: Optional[bool] = None,
+    method: str = "batched",
+    internal_only: bool = False,
+) -> Dict[str, Dict]:
+    """Map every selected survey candidate in one shared-kernel pass.
+
+    ``scan --survey --map`` defers mapping until after Holm selection,
+    then draws histories for just the significant branches — here, in
+    the coordinator, over **one** engine instance.  What that sharing
+    buys (versus per-task mapping inside each worker):
+
+    * one pattern compression and one F3x4 estimate for the gene;
+    * one set of leaf CLVs, threaded into every candidate binding via
+      ``bind(leaf_clvs=...)`` — foreground choice never changes leaf
+      data;
+    * one pooled decomposition LRU and one ``_uniformized`` kernel
+      table, so candidates whose MLEs land on the same (κ, ω) reuse
+      R-power stacks and jump-weight series across foreground choices.
+
+    Each candidate is still sampled at *its own* H1 MLEs (carried on
+    ``GeneResult.h1_mles`` by ``keep_mles=True``) with the same
+    per-candidate seed the per-task path would have used, on a marked
+    copy of the shared base tree.  Candidates without stored MLEs (e.g.
+    failed tasks) are skipped; a sampling failure degrades to an
+    ``{"error": ...}`` payload exactly like the per-task path.
+
+    Returns ``{branch_label: mapping payload}``.
+    """
+    from repro.likelihood.mapping import sample_substitution_mapping
+
+    spec = resolve_model_spec(model)
+    eng = make_engine(engine)
+    pi = estimate_codon_frequencies(
+        alignment.to_sequences(), method="f3x4", code=alignment.code
+    )
+    patterns = compress_patterns(alignment)
+    prefix = f"{gene_id}:"
+    mles = {
+        res.gene_id[len(prefix):]: res.h1_mles
+        for res in scan.gene_results
+        if res.h1_mles and res.gene_id.startswith(prefix)
+    }
+    candidates = [
+        n for n in tree.nodes
+        if not n.is_root and (not internal_only or not n.is_leaf)
+    ]
+    node_of = {branch_label(tree, n.index): n.index for n in candidates}
+    # Seeds must match what the per-task path would have drawn with:
+    # analyze_genes gives candidate k seed ``seed + k`` in the same
+    # candidate order ``scan_branches`` enumerated (pass the scan's
+    # ``internal_only`` so the ordinals line up).
+    seed_of = {
+        branch_label(tree, n.index): seed + k for k, n in enumerate(candidates)
+    }
+    shared_leaf_clvs = None
+    out: Dict[str, Dict] = {}
+    for label in labels:
+        point = mles.get(label)
+        if point is None or label not in node_of:
+            continue
+        marked = tree.copy()
+        marked.mark_foreground(marked.nodes[node_of[label]])
+        try:
+            bound = eng.bind(
+                marked, patterns, spec.pair()[1], pi=pi,
+                batched=batched, leaf_clvs=shared_leaf_clvs,
+            )
+            if shared_leaf_clvs is None:
+                shared_leaf_clvs = bound._leaf_clvs
+            out[label] = sample_substitution_mapping(
+                bound,
+                point["values"],
+                branch_lengths=point["branch_lengths"],
+                n_samples=int(map_samples),
+                seed=seed_of.get(label, seed),
+                method=method,
+            ).to_payload()
+        except Exception as exc:  # noqa: BLE001 — mapping is strictly additive
+            out[label] = {"error": f"{type(exc).__name__}: {exc}"}
+    return out

@@ -78,6 +78,9 @@ class BatchSummary:
     #: Expected substitution events summed over mapped tasks' branches.
     total_mapped_syn: float = 0.0
     total_mapped_nonsyn: float = 0.0
+    #: Sampler wall clock summed over mapped tasks (payload ``seconds``;
+    #: 0.0 on pre-v8 payloads that did not record it).
+    total_mapping_seconds: float = 0.0
 
     @property
     def n_resumed(self) -> int:
@@ -112,6 +115,7 @@ class BatchSummary:
                 self.n_mapping_failed += 1
             else:
                 self.n_mapped += 1
+                self.total_mapping_seconds += float(mapping.get("seconds") or 0.0)
                 for row in mapping.get("branches", []):
                     self.total_mapped_syn += float(row.get("syn", 0.0))
                     self.total_mapped_nonsyn += float(row.get("nonsyn", 0.0))
@@ -192,6 +196,8 @@ class BatchSummary:
                 f"E[syn]={self.total_mapped_syn:.2f}, "
                 f"E[nonsyn]={self.total_mapped_nonsyn:.2f}"
             )
+            if self.total_mapping_seconds > 0.0:
+                line += f", {self.total_mapping_seconds:.2f} s sampling"
             if self.n_mapping_failed:
                 line += f", {self.n_mapping_failed} sampler failure" + (
                     "s" if self.n_mapping_failed != 1 else ""

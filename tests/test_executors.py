@@ -580,6 +580,33 @@ class TestDistributedAcceptance:
         # And the socket run really was distributed.
         assert any(r.worker and r.worker.startswith("w") for r in via_socket)
 
+    def test_map_payloads_bit_identical_across_backends(self, gene):
+        """PR 10 acceptance: ``--map`` draws from a seed-keyed generator
+        inside the worker, so the sampled histories cannot depend on
+        which process ran the task — inline, pool and socket backends
+        must emit bit-identical mapping payloads (timing aside)."""
+        from repro.parallel.batch import analyze_genes
+
+        jobs = _gene_jobs(gene, 2)
+        payloads = {}
+        for kind in BACKENDS:
+            with backend(kind) as executor:
+                results = analyze_genes(
+                    jobs, max_iterations=1, seed=23, map_samples=4,
+                    executor=executor,
+                )
+            assert all(not r.failed for r in results)
+            snapshot = []
+            for r in results:
+                mapping = dict(r.mapping)
+                assert "error" not in mapping
+                assert mapping["method"] == "batched"
+                assert mapping["mapping_ci"]["level"] == 0.95
+                mapping.pop("seconds")  # wall clock is per-host noise
+                snapshot.append((r.gene_id, mapping))
+            payloads[kind] = snapshot
+        assert payloads["inline"] == payloads["pool"] == payloads["socket"]
+
     def test_sigkilled_worker_leaves_resumable_journal(self, gene, tmp_path):
         """ISSUE acceptance: SIGKILL one of two workers mid-batch; the
         run completes anyway and its journal resumes cleanly (nothing

@@ -2,8 +2,10 @@
 
 One fixture file per historical journal version (v2 added the header,
 v3 diagnostics, v4 clv_stats, v5 setup_seconds, v6 the model spec, v7
-rung_usage + the substitution-mapping payload) plus the current
-version; the tolerant reader must load every one of them — that is the
+rung_usage + the substitution-mapping payload, v8 the additive
+``mapping_ci``/``seconds``/``method`` mapping keys and ``h1_mles``)
+plus the current version; the tolerant reader must load every one of
+them — that is the
 contract that lets a scan journalled by an old release resume on a new
 one.
 """
@@ -18,7 +20,7 @@ import pytest
 from repro.io.results_io import JOURNAL_VERSION, ResultJournal
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "data", "journals")
-VERSIONS = (2, 3, 4, 5, 6, 7)
+VERSIONS = (2, 3, 4, 5, 6, 7, 8)
 
 
 def _fixture(version):
@@ -100,6 +102,26 @@ class TestFixtureVersions:
         assert by_id["gene1:F"].rung_usage is None
         assert by_id["gene1:F"].mapping is None
 
+    def test_v8_mapping_ci_and_h1_mles_survive(self):
+        results = ResultJournal(_fixture(8)).load()
+        by_id = {r.gene_id: r for r in results}
+        mapped = by_id["gene1:A"]
+        # Everything v7 carried is still there …
+        assert mapped.mapping["n_samples"] == 16
+        rows = {row["branch"]: row for row in mapped.mapping["branches"]}
+        assert rows["A"]["ratio"] == 1.25 and rows["B"]["ratio"] is None
+        # … plus the v8 additions: CI half-widths, sampler timing/method,
+        # and the H1 MLE point the one-pass survey mapper re-binds at.
+        ci = mapped.mapping["mapping_ci"]
+        assert ci["level"] == 0.95
+        assert {row["branch"] for row in ci["branches"]} == {"A", "B"}
+        assert len(ci["foreground_sites"]["nonsyn"]) == 3
+        assert mapped.mapping["method"] == "batched"
+        assert mapped.mapping["seconds"] == 0.052
+        assert mapped.h1_mles["values"]["omega2"] == 4.6
+        assert mapped.h1_mles["branch_lengths"] == [0.31, 0.05]
+        assert by_id["gene1:F"].h1_mles is None
+
     @pytest.mark.parametrize("version", [v for v in VERSIONS if v < 6])
     def test_older_versions_default_model_to_none(self, version):
         # Pre-v6 journals never recorded the model: readers see None and
@@ -113,6 +135,12 @@ class TestFixtureVersions:
         for result in ResultJournal(_fixture(version)).load():
             assert result.rung_usage is None
             assert result.mapping is None
+
+    @pytest.mark.parametrize("version", [v for v in VERSIONS if v < 8])
+    def test_older_versions_default_h1_mles_to_none(self, version):
+        # Pre-v8 journals never kept the H1 MLE point.
+        for result in ResultJournal(_fixture(version)).load():
+            assert result.h1_mles is None
 
 
 class TestForwardGuards:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.alignment.simulate import simulate_alignment
 from repro.core.engine import make_engine
+from repro.core.recovery import RecoveryConfig
 from repro.likelihood.mapping import (
     SubstitutionMapping,
     sample_substitution_mapping,
@@ -82,6 +83,64 @@ class TestSampler:
     def test_rejects_nonpositive_sample_count(self, m0_bound):
         with pytest.raises(ValueError, match="n_samples"):
             sample_substitution_mapping(m0_bound, M0_VALUES, n_samples=0)
+
+
+class TestBatchedSerialEquivalence:
+    """The batched sampler is a reordering of the serial reference, not
+    an approximation: both consume the same canonical uniform stream and
+    must emit bit-identical counts for a fixed seed."""
+
+    @pytest.mark.parametrize("engine_name", ("codeml", "slim", "slim-v2"))
+    @pytest.mark.parametrize("recover", (False, True), ids=("plain", "recovery"))
+    def test_bit_identical_to_serial(self, engine_name, recover):
+        tree = parse_newick("((A:0.2,B:0.1):0.08 #1,(C:0.15,D:0.12):0.05,E:0.3);")
+        sim = simulate_alignment(
+            tree, BranchSiteModelA(), BSA_VALUES, n_codons=30, seed=23
+        )
+        engine = make_engine(
+            engine_name, recovery=RecoveryConfig() if recover else None
+        )
+        bound = engine.bind(tree, sim.alignment, BranchSiteModelA())
+        serial = sample_substitution_mapping(
+            bound, BSA_VALUES, n_samples=6, seed=11, method="serial"
+        )
+        batched = sample_substitution_mapping(
+            bound, BSA_VALUES, n_samples=6, seed=11, method="batched"
+        )
+        assert np.array_equal(serial.syn, batched.syn)
+        assert np.array_equal(serial.nonsyn, batched.nonsyn)
+        assert np.array_equal(serial.syn_var, batched.syn_var)
+        assert np.array_equal(serial.nonsyn_var, batched.nonsyn_var)
+        assert serial.method == "serial" and batched.method == "batched"
+
+    def test_method_validation(self, m0_bound):
+        with pytest.raises(ValueError, match="method"):
+            sample_substitution_mapping(m0_bound, M0_VALUES, method="turbo")
+
+
+class TestUncertainty:
+    def test_payload_carries_normal_ci(self, bsa_bound):
+        payload = sample_substitution_mapping(
+            bsa_bound, BSA_VALUES, n_samples=8, seed=3
+        ).to_payload()
+        ci = payload["mapping_ci"]
+        assert ci["level"] == pytest.approx(0.95)
+        assert len(ci["branches"]) == len(payload["branches"])
+        for row in ci["branches"]:
+            assert row["syn"] >= 0.0 and row["nonsyn"] >= 0.0
+        sites = ci["foreground_sites"]
+        assert len(sites["nonsyn"]) == len(payload["foreground_sites"]["nonsyn"])
+        assert payload["method"] == "batched"
+        assert payload["seconds"] >= 0.0
+
+    def test_single_draw_ci_collapses_to_zero(self, bsa_bound):
+        payload = sample_substitution_mapping(
+            bsa_bound, BSA_VALUES, n_samples=1, seed=3
+        ).to_payload()
+        # One draw carries no spread information: every half-width is 0.
+        ci = payload["mapping_ci"]
+        assert all(row["syn"] == 0.0 and row["nonsyn"] == 0.0 for row in ci["branches"])
+        assert not any(ci["foreground_sites"]["nonsyn"])
 
 
 class TestForegroundAndPayload:
